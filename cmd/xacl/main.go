@@ -1,0 +1,132 @@
+// Command xacl manages XML Access Control List files.
+//
+// Usage:
+//
+//	xacl validate <file>...     check XACL files against the XACL DTD
+//	xacl list <file>...         print authorizations as compact tuples
+//	xacl convert <about> <level>  read compact tuples on stdin, write XACL
+//	xacl dtd                    print the XACL document type definition
+//
+// The compact tuple form is the paper's, e.g.
+//
+//	<<Foreign,*,*>,lab.xml:/laboratory//paper[./@category="private"],read,-,R>
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlsec/internal/authz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "validate":
+		err = validate(os.Args[2:])
+	case "list":
+		err = list(os.Args[2:])
+	case "convert":
+		err = convert(os.Args[2:])
+	case "dtd":
+		fmt.Print(authz.DTDSource)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xacl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  xacl validate <file>...
+  xacl list <file>...
+  xacl convert <about> <instance|schema> < tuples.txt
+  xacl dtd`)
+	os.Exit(2)
+}
+
+func validate(files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("no files given")
+	}
+	bad := 0
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		x, err := authz.ParseXACL(string(b))
+		if err != nil {
+			fmt.Printf("%s: INVALID: %v\n", f, err)
+			bad++
+			continue
+		}
+		fmt.Printf("%s: ok (%d authorizations, %s level, about %s)\n", f, len(x.Auths), x.Level, x.About)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d invalid file(s)", bad)
+	}
+	return nil
+}
+
+func list(files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("no files given")
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		x, err := authz.ParseXACL(string(b))
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		for _, a := range x.Auths {
+			fmt.Println(a)
+		}
+	}
+	return nil
+}
+
+func convert(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("convert needs <about> and <instance|schema>")
+	}
+	level := authz.InstanceLevel
+	switch args[1] {
+	case "instance":
+	case "schema":
+		level = authz.SchemaLevel
+	default:
+		return fmt.Errorf("level must be instance or schema, got %q", args[1])
+	}
+	x := &authz.XACL{About: args[0], Level: level}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, err := authz.Parse(line)
+		if err != nil {
+			return err
+		}
+		if level == authz.SchemaLevel && a.Type.IsWeak() {
+			return fmt.Errorf("weak authorization %s not allowed at schema level", a)
+		}
+		x.Auths = append(x.Auths, a)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return x.Marshal(os.Stdout)
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const goodXACL = `<xacl about="d.xml">
+  <authorization>
+    <subject ug="G"/>
+    <object path="/a/b"/>
+    <action>read</action><sign>+</sign><type>R</type>
+  </authorization>
+</xacl>`
+
+// captureStdout redirects stdout around fn.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		outCh <- b.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	r.Close()
+	return out, runErr
+}
+
+func TestValidateCommand(t *testing.T) {
+	good := writeTemp(t, "good.xml", goodXACL)
+	out, err := captureStdout(t, func() error { return validate([]string{good}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ok (1 authorizations") {
+		t.Errorf("validate output: %s", out)
+	}
+	bad := writeTemp(t, "bad.xml", "<xacl><oops/></xacl>")
+	if _, err := captureStdout(t, func() error { return validate([]string{bad}) }); err == nil {
+		t.Error("invalid file should make validate fail")
+	}
+	if err := validate(nil); err == nil {
+		t.Error("validate without files should fail")
+	}
+}
+
+func TestListCommand(t *testing.T) {
+	good := writeTemp(t, "good.xml", goodXACL)
+	out, err := captureStdout(t, func() error { return list([]string{good}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<<G,*,*>,d.xml:/a/b,read,+,R>") {
+		t.Errorf("list output: %s", out)
+	}
+}
+
+func TestConvertCommand(t *testing.T) {
+	stdin := writeTemp(t, "tuples.txt", `
+# comment lines are skipped
+<<G,*,*>,d.xml:/a,read,+,R>
+<<u7,10.0.*,*.it>,d.xml://b,read,-,L>
+`)
+	old := os.Stdin
+	f, err := os.Open(stdin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin = f
+	defer func() { os.Stdin = old; f.Close() }()
+
+	out, err := captureStdout(t, func() error { return convert([]string{"d.xml", "instance"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `<xacl about="d.xml" level="instance">`) {
+		t.Errorf("convert output: %s", out)
+	}
+	if !strings.Contains(out, `ip="10.0.*"`) || !strings.Contains(out, `sn="*.it"`) {
+		t.Errorf("convert lost subject detail: %s", out)
+	}
+	if err := convert([]string{"d.xml", "sideways"}); err == nil {
+		t.Error("bad level should fail")
+	}
+	if err := convert([]string{"d.xml"}); err == nil {
+		t.Error("missing args should fail")
+	}
+}
+
+func TestConvertRejectsWeakSchema(t *testing.T) {
+	stdin := writeTemp(t, "tuples.txt", `<<G,*,*>,d.dtd:/a,read,+,RW>`)
+	old := os.Stdin
+	f, err := os.Open(stdin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin = f
+	defer func() { os.Stdin = old; f.Close() }()
+	if _, err := captureStdout(t, func() error { return convert([]string{"d.dtd", "schema"}) }); err == nil {
+		t.Error("weak tuple at schema level should fail")
+	}
+}

@@ -1,0 +1,89 @@
+// Command xmlsecd runs the security processor as an HTTP daemon over a
+// site configuration directory (see server.LoadSiteDir for the layout).
+//
+// Usage:
+//
+//	xmlsecd -site ./site -addr :8080
+//
+// Endpoints:
+//
+//	GET /docs/<uri>  view of the document for the authenticated requester
+//	GET /dtds/<uri>  loosened DTD
+//	GET /healthz     liveness
+//
+// Requesters authenticate with HTTP Basic credentials from users.conf;
+// requests without credentials are served as "anonymous".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xmlsec/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	addr := flag.String("addr", ":8080", "listen address")
+	siteDir := flag.String("site", "site", "site configuration directory")
+	validate := flag.Bool("validate-views", false, "re-validate every view against the loosened DTD")
+	perRequest := flag.Bool("parse-per-request", false, "re-parse documents on every request (fully on-line cycle)")
+	cacheSize := flag.Int("view-cache", 0, "enable the per-requester view cache with this many entries (0 = off)")
+	auditPath := flag.String("audit", "", "append JSON-lines audit records to this file")
+	flag.Parse()
+
+	site, err := server.LoadSiteDir(*siteDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmlsecd: %v\n", err)
+		os.Exit(1)
+	}
+	site.ValidateViews = *validate
+	site.ParsePerRequest = *perRequest
+	if *cacheSize > 0 {
+		site.EnableViewCache(*cacheSize)
+	}
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmlsecd: opening audit log: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		site.SetAuditLog(f)
+	}
+
+	log.Printf("xmlsecd: %d documents, %d users, %d authorizations; listening on %s",
+		len(site.Docs.URIs()), site.Users.Len(), site.Auths.Len(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           site.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Drain in-flight requests on SIGINT/SIGTERM, then flush the audit
+	// file via the deferred Close.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("xmlsecd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("xmlsecd: shutdown: %v", err)
+		}
+		close(idle)
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("xmlsecd: %v", err)
+	}
+	<-idle
+}

@@ -1,0 +1,139 @@
+// Command xsview computes a requester's view of an XML document
+// offline: the compute-view algorithm without the HTTP front end.
+//
+// Usage:
+//
+//	xsview -doc CSlab.xml -xacl doc.xacl -xacl dtd.xacl \
+//	       -user Tom -groups Foreign -ip 130.100.50.8 -host infosys.bld1.it
+//
+// The document's DOCTYPE system identifier is resolved relative to the
+// document's directory. XACL files bind to the document or its DTD via
+// their about attribute. With -explain, the final label of every
+// element and attribute is printed to stderr before the view.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	var xacls repeated
+	docPath := flag.String("doc", "", "XML document to compute the view of (required)")
+	uri := flag.String("uri", "", "document URI for authorization matching (default: base name of -doc)")
+	user := flag.String("user", "anonymous", "requesting user")
+	groups := flag.String("groups", "", "comma-separated groups the user belongs to")
+	ip := flag.String("ip", "127.0.0.1", "requester IP address")
+	host := flag.String("host", "", "requester symbolic host name")
+	explain := flag.Bool("explain", false, "print per-node labels and their provenance to stderr")
+	query := flag.String("query", "", "XPath query evaluated against the view instead of printing it")
+	openPolicy := flag.Bool("open", false, "use the open policy (unlabeled nodes are visible)")
+	conflict := flag.String("conflict", "denials-take-precedence", "conflict rule: denials-take-precedence, permissions-take-precedence, nothing-takes-precedence, majority-takes-precedence")
+	flag.Var(&xacls, "xacl", "XACL file (repeatable)")
+	flag.Parse()
+
+	if *docPath == "" {
+		fmt.Fprintln(os.Stderr, "xsview: -doc is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*docPath, *uri, xacls, *user, *groups, *ip, *host, *explain, *openPolicy, *conflict, *query); err != nil {
+		fmt.Fprintf(os.Stderr, "xsview: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(docPath, uri string, xacls []string, user, groups, ip, host string, explain, openPolicy bool, conflict, query string) error {
+	res, err := xmlparse.ParseFile(docPath, xmlparse.Options{ApplyDefaults: true})
+	if err != nil {
+		return err
+	}
+	if uri == "" {
+		uri = filepath.Base(docPath)
+	}
+	dtdURI := ""
+	if res.Doc.DocType != nil {
+		dtdURI = res.Doc.DocType.SystemID
+	}
+
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser(user, splitList(groups)...); err != nil {
+		return err
+	}
+	store := authz.NewStore()
+	for _, path := range xacls {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		x, err := authz.ParseXACL(string(b))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := store.AddAll(x.Level, x.Auths); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+
+	eng := core.NewEngine(dir, store)
+	rule, err := core.ParseConflictRule(conflict)
+	if err != nil {
+		return err
+	}
+	eng.Default = core.Policy{Conflict: rule, Open: openPolicy}
+
+	rq := subjects.Requester{User: user, IP: ip, Host: host}
+	req := core.Request{Requester: rq, URI: uri, DTDURI: dtdURI}
+
+	if explain {
+		// Label a copy and print the labels with their provenance.
+		exps, err := eng.Explain(req, res.Doc.Clone())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "requester %s:\n", rq)
+		if err := core.WriteExplanation(os.Stderr, exps); err != nil {
+			return err
+		}
+	}
+
+	view, err := eng.ComputeView(req, res.Doc)
+	if err != nil {
+		return err
+	}
+	if query != "" {
+		result, err := view.QueryResult(query)
+		if err != nil {
+			return err
+		}
+		return result.Write(os.Stdout, dom.WriteOptions{Indent: "  ", OmitDecl: true})
+	}
+	if view.Doc.DocumentElement() == nil {
+		return fmt.Errorf("the view for %s is empty", rq)
+	}
+	return view.Doc.Write(os.Stdout, dom.WriteOptions{Indent: "  ", OmitDocType: true})
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

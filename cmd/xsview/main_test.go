@@ -1,0 +1,137 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlsec/internal/labexample"
+)
+
+// writeLab lays the paper's example out as files for the CLI.
+func writeLab(t *testing.T) (docPath string, xacls []string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("laboratory.xml", labexample.DTDSource)
+	docPath = write("CSlab.xml", labexample.DocSource)
+	dtdXACL := `<xacl about="laboratory.xml" level="schema">
+  <authorization>
+    <subject ug="Foreign"/>
+    <object path="/laboratory//paper[./@category='private']"/>
+    <action>read</action><sign>-</sign><type>R</type>
+  </authorization>
+</xacl>`
+	docXACL := `<xacl about="CSlab.xml">
+  <authorization>
+    <subject ug="Public"/>
+    <object path="/laboratory//paper[./@category='public']"/>
+    <action>read</action><sign>+</sign><type>RW</type>
+  </authorization>
+  <authorization>
+    <subject ug="Public" sn="*.it"/>
+    <object path="project[./@type='public']/manager"/>
+    <action>read</action><sign>+</sign><type>RW</type>
+  </authorization>
+</xacl>`
+	return docPath, []string{write("dtd-acl.xml", dtdXACL), write("doc-acl.xml", docXACL)}
+}
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		outCh <- b.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return out
+}
+
+func TestRunTomView(t *testing.T) {
+	docPath, xacls := writeLab(t)
+	out := capture(t, func() error {
+		return run(docPath, "CSlab.xml", xacls,
+			"Tom", "Foreign", "130.100.50.8", "infosys.bld1.it",
+			false, false, "denials-take-precedence", "")
+	})
+	if strings.Contains(out, "Security Markup") {
+		t.Errorf("private paper in CLI output:\n%s", out)
+	}
+	if !strings.Contains(out, "Bob Codd") || !strings.Contains(out, "XML Views") {
+		t.Errorf("expected public content missing:\n%s", out)
+	}
+}
+
+func TestRunEmptyViewErrors(t *testing.T) {
+	docPath, _ := writeLab(t)
+	err := run(docPath, "CSlab.xml", nil,
+		"nobody", "", "9.9.9.9", "", false, false, "denials-take-precedence", "")
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty view should be reported: %v", err)
+	}
+}
+
+func TestRunOpenPolicy(t *testing.T) {
+	docPath, xacls := writeLab(t)
+	out := capture(t, func() error {
+		return run(docPath, "CSlab.xml", xacls[:1], // only the schema denial
+			"Tom", "Foreign", "130.100.50.8", "infosys.bld1.it",
+			false, true, "denials-take-precedence", "")
+	})
+	// Open policy: everything except the denied private papers.
+	if strings.Contains(out, "Security Markup") {
+		t.Errorf("denied content visible under open policy:\n%s", out)
+	}
+	if !strings.Contains(out, "fund") {
+		t.Errorf("unlabeled content missing under open policy:\n%s", out)
+	}
+}
+
+func TestRunBadConflictRule(t *testing.T) {
+	docPath, xacls := writeLab(t)
+	err := run(docPath, "CSlab.xml", xacls,
+		"Tom", "Foreign", "130.100.50.8", "infosys.bld1.it",
+		false, false, "coin-flip", "")
+	if err == nil {
+		t.Error("unknown conflict rule accepted")
+	}
+}
+
+func TestRunQuery(t *testing.T) {
+	docPath, xacls := writeLab(t)
+	out := capture(t, func() error {
+		return run(docPath, "CSlab.xml", xacls,
+			"Tom", "Foreign", "130.100.50.8", "infosys.bld1.it",
+			false, false, "denials-take-precedence", "//title")
+	})
+	if !strings.Contains(out, `count="2"`) {
+		t.Errorf("query count wrong:\n%s", out)
+	}
+	if strings.Contains(out, "Security Markup") {
+		t.Errorf("query leaked protected title:\n%s", out)
+	}
+}

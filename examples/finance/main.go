@@ -1,0 +1,147 @@
+// Finance: protecting OFX-style financial statements.
+//
+// The paper's introduction lists OFX (Open Financial Exchange) as a
+// motivating XML application: one document carries transactions for
+// many accounts, and different parties must see different slices. This
+// example protects a statement file with schema-level authorizations:
+//
+//   - each customer sees only the accounts they own (content-dependent
+//     conditions on the account's owner attribute);
+//
+//   - tellers see every account's balance and transactions, but not
+//     credit limits, from branch machines only;
+//
+//   - auditors see everything, but only during the audit window
+//     (a time-bounded authorization — the Section 8 extension);
+//
+//   - everybody else sees nothing (closed policy).
+//
+//     go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+const ofxDTD = `<!ELEMENT ofx (stmt+)>
+<!ELEMENT stmt (acct, ledgerbal, banktranlist)>
+<!ATTLIST stmt curdef CDATA "EUR">
+<!ELEMENT acct (acctid, accttype)>
+<!ATTLIST acct owner CDATA #REQUIRED limit CDATA #IMPLIED>
+<!ELEMENT acctid (#PCDATA)>
+<!ELEMENT accttype (#PCDATA)>
+<!ELEMENT ledgerbal (balamt, dtasof)>
+<!ELEMENT balamt (#PCDATA)>
+<!ELEMENT dtasof (#PCDATA)>
+<!ELEMENT banktranlist (stmttrn*)>
+<!ELEMENT stmttrn (trntype, dtposted, trnamt, memo?)>
+<!ELEMENT trntype (#PCDATA)>
+<!ELEMENT dtposted (#PCDATA)>
+<!ELEMENT trnamt (#PCDATA)>
+<!ELEMENT memo (#PCDATA)>
+`
+
+const statements = `<?xml version="1.0"?>
+<!DOCTYPE ofx SYSTEM "ofx.dtd">
+<ofx>
+  <stmt curdef="EUR">
+    <acct owner="carla" limit="5000">
+      <acctid>IT99-0001</acctid>
+      <accttype>CHECKING</accttype>
+    </acct>
+    <ledgerbal><balamt>1204.33</balamt><dtasof>20000615</dtasof></ledgerbal>
+    <banktranlist>
+      <stmttrn><trntype>DEBIT</trntype><dtposted>20000610</dtposted><trnamt>-42.00</trnamt><memo>bookshop</memo></stmttrn>
+      <stmttrn><trntype>CREDIT</trntype><dtposted>20000612</dtposted><trnamt>1800.00</trnamt><memo>salary</memo></stmttrn>
+    </banktranlist>
+  </stmt>
+  <stmt curdef="EUR">
+    <acct owner="dave">
+      <acctid>IT99-0002</acctid>
+      <accttype>SAVINGS</accttype>
+    </acct>
+    <ledgerbal><balamt>9100.00</balamt><dtasof>20000615</dtasof></ledgerbal>
+    <banktranlist>
+      <stmttrn><trntype>CREDIT</trntype><dtposted>20000601</dtposted><trnamt>9100.00</trnamt></stmttrn>
+    </banktranlist>
+  </stmt>
+</ofx>
+`
+
+func main() {
+	res, err := xmlparse.Parse(statements, xmlparse.Options{
+		Loader: xmlparse.MapLoader{"ofx.dtd": ofxDTD},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir := subjects.NewDirectory()
+	must(dir.AddGroup("Tellers"))
+	must(dir.AddGroup("Auditors"))
+	must(dir.AddUser("carla"))
+	must(dir.AddUser("dave"))
+	must(dir.AddUser("tina", "Tellers"))
+	must(dir.AddUser("axel", "Auditors"))
+
+	store := authz.NewStore()
+	// Customers: the whole statement of each owned account, found by a
+	// condition on the acct/@owner value relative to the stmt element.
+	for _, customer := range []string{"carla", "dave"} {
+		tuple := fmt.Sprintf(`<<%s,*,*>,ofx.dtd://stmt[acct/@owner="%s"],read,+,R>`, customer, customer)
+		must(store.Add(authz.SchemaLevel, authz.MustParse(tuple)))
+	}
+	// Tellers from branch machines: everything except credit limits.
+	must(store.Add(authz.SchemaLevel, authz.MustParse(
+		`<<Tellers,10.20.*,*>,ofx.dtd:/ofx,read,+,R>`)))
+	must(store.Add(authz.SchemaLevel, authz.MustParse(
+		`<<Tellers,*,*>,ofx.dtd://acct/@limit,read,-,L>`)))
+	// Auditors: full access, but only inside the audit window.
+	audit := authz.MustParse(`<<Auditors,*,*>,ofx.dtd:/ofx,read,+,R>`)
+	audit.Validity = authz.Validity{
+		NotBefore: time.Date(2000, 7, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:  time.Date(2000, 7, 31, 23, 59, 59, 0, time.UTC),
+	}
+	must(store.Add(authz.SchemaLevel, audit))
+
+	eng := core.NewEngine(dir, store)
+	type trial struct {
+		rq subjects.Requester
+		at time.Time
+	}
+	inAudit := time.Date(2000, 7, 15, 10, 0, 0, 0, time.UTC)
+	outAudit := time.Date(2000, 9, 1, 10, 0, 0, 0, time.UTC)
+	trials := []trial{
+		{subjects.Requester{User: "carla", IP: "93.40.1.2", Host: "home.isp.it"}, outAudit},
+		{subjects.Requester{User: "tina", IP: "10.20.3.4", Host: "desk.branch12.bank.example"}, outAudit},
+		{subjects.Requester{User: "tina", IP: "93.40.9.9", Host: "cafe.isp.it"}, outAudit}, // off branch
+		{subjects.Requester{User: "axel", IP: "10.9.9.9", Host: "audit.bank.example"}, inAudit},
+		{subjects.Requester{User: "axel", IP: "10.9.9.9", Host: "audit.bank.example"}, outAudit},
+	}
+	for _, tr := range trials {
+		req := core.Request{Requester: tr.rq, URI: "statements.xml", DTDURI: "ofx.dtd", At: tr.at}
+		view, err := eng.ComputeView(req, res.Doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s at %s ---\n", tr.rq, tr.at.Format("2006-01-02"))
+		if view.Doc.DocumentElement() == nil {
+			fmt.Println("(nothing visible)")
+			continue
+		}
+		fmt.Println(view.Doc.StringIndent("  "))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Healthcare: content-dependent, schema-level protection of patient
+// records — the kind of selective distribution the paper's introduction
+// motivates.
+//
+// One DTD describes patient records; many documents are instances of
+// it. Authorizations are written once, at the schema level, and govern
+// every record:
+//
+//   - physicians see complete records;
+//
+//   - nurses see records except psychiatric notes (an exception via a
+//     negative authorization on a more specific object);
+//
+//   - the billing office sees only administrative and billing data;
+//
+//   - each patient sees their own record, via a condition on the
+//     record's patient identifier — content-dependent access from a
+//     single schema-level rule.
+//
+//     go run ./examples/healthcare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+const recordsDTD = `<!ELEMENT records (patient+)>
+<!ELEMENT patient (admin, clinical, billing)>
+<!ATTLIST patient id CDATA #REQUIRED>
+<!ELEMENT admin (name, contact)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT contact (#PCDATA)>
+<!ELEMENT clinical (diagnosis*, prescription*, psychiatric?)>
+<!ELEMENT diagnosis (#PCDATA)>
+<!ELEMENT prescription (#PCDATA)>
+<!ELEMENT psychiatric (#PCDATA)>
+<!ELEMENT billing (invoice*)>
+<!ELEMENT invoice (#PCDATA)>
+<!ATTLIST invoice paid (yes|no) "no">
+`
+
+const wardFile = `<?xml version="1.0"?>
+<!DOCTYPE records SYSTEM "records.dtd">
+<records>
+  <patient id="p17">
+    <admin>
+      <name>Maria Rossi</name>
+      <contact>via Comelico 39, Milano</contact>
+    </admin>
+    <clinical>
+      <diagnosis>Hypertension</diagnosis>
+      <prescription>ACE inhibitor, 10mg</prescription>
+      <psychiatric>Anxiety episodes, under evaluation</psychiatric>
+    </clinical>
+    <billing>
+      <invoice paid="yes">120.00</invoice>
+    </billing>
+  </patient>
+  <patient id="p42">
+    <admin>
+      <name>Ugo Bianchi</name>
+      <contact>p.za Leonardo 32, Milano</contact>
+    </admin>
+    <clinical>
+      <diagnosis>Fractured wrist</diagnosis>
+      <prescription>Cast, 6 weeks</prescription>
+    </clinical>
+    <billing>
+      <invoice paid="no">340.00</invoice>
+    </billing>
+  </patient>
+</records>`
+
+// Schema-level authorizations: written once against the DTD, they
+// protect every document instance. A patient's own access is
+// content-dependent: the path condition compares the record's id
+// attribute with the patient's identifier.
+var schemaAuths = []string{
+	`<<Physicians,*,*>,records.dtd:/records,read,+,R>`,
+	`<<Nurses,*,*.ward.hospital.org>,records.dtd:/records/patient,read,+,R>`,
+	`<<Nurses,*,*>,records.dtd://psychiatric,read,-,R>`,
+	`<<Billing,*,*>,records.dtd:/records/patient,read,+,L>`,
+	`<<Billing,*,*>,records.dtd://admin,read,+,R>`,
+	`<<Billing,*,*>,records.dtd://billing,read,+,R>`,
+	`<<maria,*,*>,records.dtd:/records/patient[./@id="p17"],read,+,R>`,
+}
+
+func main() {
+	res, err := xmlparse.Parse(wardFile, xmlparse.Options{
+		Loader: xmlparse.MapLoader{"records.dtd": recordsDTD},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir := subjects.NewDirectory()
+	for _, g := range []string{"Physicians", "Nurses", "Billing"} {
+		must(dir.AddGroup(g))
+	}
+	must(dir.AddUser("drwho", "Physicians"))
+	must(dir.AddUser("nancy", "Nurses"))
+	must(dir.AddUser("bill", "Billing"))
+	must(dir.AddUser("maria")) // patient p17
+
+	store := authz.NewStore()
+	for _, t := range schemaAuths {
+		must(store.Add(authz.SchemaLevel, authz.MustParse(t)))
+	}
+
+	eng := core.NewEngine(dir, store)
+	requesters := []subjects.Requester{
+		{User: "drwho", IP: "10.1.0.2", Host: "er.hospital.org"},
+		{User: "nancy", IP: "10.1.0.9", Host: "desk3.ward.hospital.org"},
+		{User: "nancy", IP: "93.45.1.1", Host: "home.isp.example"}, // off site
+		{User: "bill", IP: "10.2.0.4", Host: "acct.hospital.org"},
+		{User: "maria", IP: "93.45.7.7", Host: "laptop.isp.example"},
+	}
+	for _, rq := range requesters {
+		req := core.Request{Requester: rq, URI: "ward.xml", DTDURI: "records.dtd"}
+		view, err := eng.ComputeView(req, res.Doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- view of %s ---\n", rq)
+		if view.Doc.DocumentElement() == nil {
+			fmt.Println("(empty: nothing visible)")
+			continue
+		}
+		fmt.Println(view.Doc.StringIndent("  "))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

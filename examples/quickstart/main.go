@@ -1,0 +1,75 @@
+// Quickstart: protect one XML document with element-level
+// authorizations and compute two users' views of it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+const doc = `<?xml version="1.0"?>
+<memo>
+  <subject>Quarterly results</subject>
+  <body>Revenue grew 12%.</body>
+  <internal>
+    <draft>Do not publish before Friday.</draft>
+  </internal>
+</memo>`
+
+func main() {
+	// 1. Parse the document.
+	res, err := xmlparse.Parse(doc, xmlparse.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Declare subjects: a staff group with one member.
+	dir := subjects.NewDirectory()
+	must(dir.AddGroup("Staff"))
+	must(dir.AddUser("erin", "Staff"))
+	must(dir.AddUser("guest"))
+
+	// 3. Grant everyone the memo recursively, but deny the internal
+	// section to everyone except Staff. "Most specific object takes
+	// precedence": the denial on <internal> overrides the grant from
+	// the root for non-staff; for Staff the more specific subject wins.
+	store := authz.NewStore()
+	for _, tuple := range []string{
+		`<<Public,*,*>,memo.xml:/memo,read,+,R>`,
+		`<<Public,*,*>,memo.xml:/memo/internal,read,-,R>`,
+		`<<Staff,*,*>,memo.xml:/memo/internal,read,+,R>`,
+	} {
+		must(store.Add(authz.InstanceLevel, authz.MustParse(tuple)))
+	}
+
+	// 4. Compute each requester's view.
+	eng := core.NewEngine(dir, store)
+	for _, user := range []string{"erin", "guest"} {
+		req := core.Request{
+			Requester: subjects.Requester{User: user, IP: "10.0.0.7", Host: "pc7.corp.example"},
+			URI:       "memo.xml",
+		}
+		view, err := eng.ComputeView(req, res.Doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- view of %s (%d of %d nodes visible) ---\n",
+			user, view.Stats.Kept, view.Stats.Nodes)
+		fmt.Println(view.Doc.StringIndent("  "))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module xmlsec
+
+go 1.22

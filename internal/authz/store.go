@@ -1,0 +1,146 @@
+package authz
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Level distinguishes where an authorization is attached.
+type Level int
+
+// Instance-level authorizations attach to XML documents; schema-level
+// authorizations attach to DTDs and propagate to all their instances.
+const (
+	InstanceLevel Level = iota
+	SchemaLevel
+)
+
+// String names the level.
+func (l Level) String() string {
+	if l == SchemaLevel {
+		return "schema"
+	}
+	return "instance"
+}
+
+// Store is the server's set Auth of access authorizations, keyed by the
+// URI of the object they attach to. It is safe for concurrent use.
+type Store struct {
+	mu          sync.RWMutex
+	gen         uint64
+	timeBounded bool
+	instance    map[string][]*Authorization // doc URI → auths
+	schema      map[string][]*Authorization // DTD URI → auths
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		instance: make(map[string][]*Authorization),
+		schema:   make(map[string][]*Authorization),
+	}
+}
+
+// Add records an authorization at the given level, keyed by its object
+// URI. Weak authorizations are rejected at schema level: per the paper,
+// strength only inverts the instance/schema priority and has no meaning
+// on a DTD.
+func (s *Store) Add(level Level, a *Authorization) error {
+	if a == nil {
+		return fmt.Errorf("authz: nil authorization")
+	}
+	if level == SchemaLevel && a.Type.IsWeak() {
+		return fmt.Errorf("authz: weak authorization %s not allowed at schema level", a)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch level {
+	case InstanceLevel:
+		s.instance[a.Object.URI] = append(s.instance[a.Object.URI], a)
+	case SchemaLevel:
+		s.schema[a.Object.URI] = append(s.schema[a.Object.URI], a)
+	default:
+		return fmt.Errorf("authz: unknown level %d", level)
+	}
+	s.gen++
+	if !a.Validity.IsZero() {
+		s.timeBounded = true
+	}
+	return nil
+}
+
+// HasTimeBounded reports whether any stored authorization carries a
+// validity window, making view computation time-dependent (caches must
+// then bypass).
+func (s *Store) HasTimeBounded() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.timeBounded
+}
+
+// Generation returns a counter that changes whenever the stored
+// authorization set changes; caches key their entries on it so policy
+// changes invalidate derived views.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// AddAll records a batch at the given level; it stops at the first
+// error.
+func (s *Store) AddAll(level Level, auths []*Authorization) error {
+	for _, a := range auths {
+		if err := s.Add(level, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForDocument returns the instance-level authorizations attached to the
+// document URI (the paper's Axml before subject filtering).
+func (s *Store) ForDocument(uri string) []*Authorization {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Authorization(nil), s.instance[uri]...)
+}
+
+// ForSchema returns the schema-level authorizations attached to the DTD
+// URI (the paper's Adtd before subject filtering).
+func (s *Store) ForSchema(uri string) []*Authorization {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Authorization(nil), s.schema[uri]...)
+}
+
+// URIs returns every URI with authorizations at the given level, sorted.
+func (s *Store) URIs(level Level) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.instance
+	if level == SchemaLevel {
+		m = s.schema
+	}
+	out := make([]string, 0, len(m))
+	for u := range m {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of stored authorizations.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, as := range s.instance {
+		n += len(as)
+	}
+	for _, as := range s.schema {
+		n += len(as)
+	}
+	return n
+}

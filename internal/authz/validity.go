@@ -1,0 +1,57 @@
+package authz
+
+import (
+	"fmt"
+	"time"
+)
+
+// Validity is an optional time window attached to an authorization —
+// the paper's "time-based restrictions on access" future-work item
+// (Section 8). A zero bound is open-ended on that side.
+type Validity struct {
+	// NotBefore is the first instant the authorization applies.
+	NotBefore time.Time
+	// NotAfter is the last instant the authorization applies.
+	NotAfter time.Time
+}
+
+// IsZero reports whether the window is unbounded on both sides.
+func (v Validity) IsZero() bool { return v.NotBefore.IsZero() && v.NotAfter.IsZero() }
+
+// Contains reports whether t falls inside the window.
+func (v Validity) Contains(t time.Time) bool {
+	if !v.NotBefore.IsZero() && t.Before(v.NotBefore) {
+		return false
+	}
+	if !v.NotAfter.IsZero() && t.After(v.NotAfter) {
+		return false
+	}
+	return true
+}
+
+// Validate rejects inverted windows.
+func (v Validity) Validate() error {
+	if !v.NotBefore.IsZero() && !v.NotAfter.IsZero() && v.NotAfter.Before(v.NotBefore) {
+		return fmt.Errorf("authz: validity window ends (%s) before it starts (%s)",
+			v.NotAfter.Format(time.RFC3339), v.NotBefore.Format(time.RFC3339))
+	}
+	return nil
+}
+
+// ActiveAt reports whether the authorization applies at time t. An
+// authorization without a window is always active.
+func (a *Authorization) ActiveAt(t time.Time) bool {
+	return a.Validity.Contains(t)
+}
+
+// parseTimeAttr parses an XACL validity attribute (RFC 3339, or a bare
+// date taken as midnight UTC).
+func parseTimeAttr(s string) (time.Time, error) {
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	if t, err := time.Parse("2006-01-02", s); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("authz: cannot parse time %q (want RFC 3339 or YYYY-MM-DD)", s)
+}

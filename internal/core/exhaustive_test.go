@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+// TestExhaustiveTupleCombinations enumerates all 3^6 = 729 combinations
+// of signs for the root's 6-tuple ⟨L,R,LD,RD,LW,RW⟩ — each slot set by
+// a dedicated authorization or left ε — and checks that the engine's
+// final sign equals first_def(L,R,LD,RD,LW,RW), the root case of the
+// paper's Figure 2.
+func TestExhaustiveTupleCombinations(t *testing.T) {
+	signs := []core.Sign{core.Epsilon, core.Plus, core.Minus}
+	// Slot order matches the first_def priority sequence.
+	type slot struct {
+		typ   authz.Type
+		level authz.Level
+	}
+	slots := []slot{
+		{authz.Local, authz.InstanceLevel},         // L
+		{authz.Recursive, authz.InstanceLevel},     // R
+		{authz.Local, authz.SchemaLevel},           // LD
+		{authz.Recursive, authz.SchemaLevel},       // RD
+		{authz.LocalWeak, authz.InstanceLevel},     // LW
+		{authz.RecursiveWeak, authz.InstanceLevel}, // RW
+	}
+	res, err := xmlparse.Parse(`<a><b/></a>`, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	for combo := 0; combo < 729; combo++ {
+		var tuple [6]core.Sign
+		c := combo
+		for i := range tuple {
+			tuple[i] = signs[c%3]
+			c /= 3
+		}
+		store := authz.NewStore()
+		for i, s := range tuple {
+			if s == core.Epsilon {
+				continue
+			}
+			sign := authz.Permit
+			if s == core.Minus {
+				sign = authz.Deny
+			}
+			uri := "doc.xml"
+			if slots[i].level == authz.SchemaLevel {
+				uri = "doc.dtd"
+			}
+			a, err := authz.New(
+				subjects.MustNewSubject("Public", "*", "*"),
+				authz.Object{URI: uri, PathExpr: "/a"},
+				authz.ReadAction, sign, slots[i].typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Add(slots[i].level, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng := core.NewEngine(dir, store)
+		req := core.Request{
+			Requester: subjects.Requester{User: "u", IP: "1.2.3.4"},
+			URI:       "doc.xml",
+			DTDURI:    "doc.dtd",
+		}
+		lb, _, err := eng.Label(req, res.Doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := res.Doc.DocumentElement()
+		got := lb.FinalOf(root)
+		want := core.FirstDef(tuple[0], tuple[1], tuple[2], tuple[3], tuple[4], tuple[5])
+		if got != want {
+			t.Errorf("tuple %v: final = %v, want %v", tupleString(tuple), got, want)
+		}
+		// The child element inherits through the recursive slots only:
+		// first_def(R, RD, RW) with the same relative priorities.
+		child := root.FirstChildElement("b")
+		gotChild := lb.FinalOf(child)
+		wantChild := core.FirstDef(tuple[1], tuple[3], tuple[5])
+		if gotChild != wantChild {
+			t.Errorf("tuple %v: child final = %v, want %v", tupleString(tuple), gotChild, wantChild)
+		}
+	}
+}
+
+func tupleString(t [6]core.Sign) string {
+	return fmt.Sprintf("<L=%v R=%v LD=%v RD=%v LW=%v RW=%v>", t[0], t[1], t[2], t[3], t[4], t[5])
+}

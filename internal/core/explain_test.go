@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/labexample"
+)
+
+func TestExplainTomLabels(t *testing.T) {
+	eng := newLabEngine()
+	doc, _ := labexample.Parse()
+	work := doc.Clone()
+	exps, err := eng.Explain(labRequest(labexample.Tom), work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 26 {
+		t.Fatalf("explanations for %d nodes, want 26", len(exps))
+	}
+	byPath := map[string][]core.Explanation{}
+	for _, x := range exps {
+		byPath[x.Node.Path()] = append(byPath[x.Node.Path()], x)
+	}
+	// Both papers of the first project share the path; find the private
+	// one via its attribute.
+	var private core.Explanation
+	for _, x := range byPath["/laboratory/project/paper"] {
+		if v, _ := x.Node.Attr("category"); v == "private" {
+			private = x
+			break
+		}
+	}
+	if private.Node == nil {
+		t.Fatal("private paper not found in explanations")
+	}
+	if private.Label.Final != core.Minus || private.Label.RD != core.Minus {
+		t.Errorf("private paper label = %+v, want RD=- final=-", private.Label)
+	}
+	if len(private.Direct) != 1 || !strings.Contains(private.Direct[0].String(), "Foreign") {
+		t.Errorf("private paper provenance = %v, want the Foreign schema denial", private.Direct)
+	}
+	// The laboratory root is unlabeled and has no direct authorizations.
+	lab := byPath["/laboratory"][0]
+	if lab.Label.Final != core.Epsilon || len(lab.Direct) != 0 {
+		t.Errorf("laboratory explanation = %+v / %v", lab.Label, lab.Direct)
+	}
+}
+
+func TestWriteExplanation(t *testing.T) {
+	eng := newLabEngine()
+	doc, _ := labexample.Parse()
+	exps, err := eng.Explain(labRequest(labexample.Tom), doc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := core.WriteExplanation(&b, exps); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"/laboratory/project/paper", "final", "<- <<Foreign,*,*>"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("explanation output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExplainCoversEveryNode(t *testing.T) {
+	eng, req, doc, _ := randomSetup(4)
+	exps, err := eng.Explain(req, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode || n.Type == dom.AttributeNode {
+			want++
+		}
+		return true
+	})
+	if len(exps) != want {
+		t.Errorf("explained %d nodes, want %d", len(exps), want)
+	}
+	for _, x := range exps {
+		if x.Label == nil {
+			t.Fatalf("nil label for %s", x.Node.Path())
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dtd"
+	"xmlsec/internal/labexample"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/workload"
+)
+
+func mustAuth(t *testing.T, tuple string) *authz.Authorization {
+	t.Helper()
+	a, err := authz.Parse(tuple)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", tuple, err)
+	}
+	return a
+}
+
+// newLabEngine assembles the engine over the paper's running example.
+func newLabEngine() *core.Engine {
+	return core.NewEngine(labexample.Directory(), labexample.Store())
+}
+
+// labRequest is Example 2's request for the CSlab document.
+func labRequest(rq subjects.Requester) core.Request {
+	return core.Request{
+		Requester: rq,
+		URI:       labexample.DocURI,
+		DTDURI:    labexample.DTDURI,
+	}
+}
+
+// TestFigure1DTD checks the reconstruction of Figure 1(a): the DTD
+// parses and exposes the structure the paper's examples navigate.
+func TestFigure1DTD(t *testing.T) {
+	d, err := dtd.Parse(labexample.DTDSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := d.Element("laboratory")
+	if lab == nil || lab.Kind != dtd.ElementContent {
+		t.Fatalf("laboratory element declaration missing or wrong kind: %+v", lab)
+	}
+	if got := lab.ContentString(); got != "(project+)" {
+		t.Errorf("laboratory content = %s, want (project+)", got)
+	}
+	proj := d.Element("project")
+	if got := proj.ContentString(); got != "(manager,paper*,fund?)" {
+		t.Errorf("project content = %s, want (manager,paper*,fund?)", got)
+	}
+	typeAttr := d.AttDef("project", "type")
+	if typeAttr == nil || typeAttr.Type != dtd.EnumType {
+		t.Fatalf("project@type should be an enumeration, got %+v", typeAttr)
+	}
+	if len(typeAttr.Enum) != 2 || typeAttr.Enum[0] != "internal" || typeAttr.Enum[1] != "public" {
+		t.Errorf("project@type enum = %v, want [internal public]", typeAttr.Enum)
+	}
+	if a := d.AttDef("paper", "category"); a == nil || a.Default != dtd.RequiredDefault {
+		t.Errorf("paper@category should be #REQUIRED, got %+v", a)
+	}
+
+	doc, docDTD := labexample.Parse()
+	if errs := docDTD.Validate(doc, dtd.ValidateOptions{}); errs != nil {
+		t.Fatalf("CSlab document should be valid: %v", errs)
+	}
+}
+
+// TestFigure3TomView reproduces Example 2: the view of user Tom (member
+// of Foreign, connecting from infosys.bld1.it / 130.100.50.8) on the
+// CSlab document under the four authorizations of Example 1.
+func TestFigure3TomView(t *testing.T) {
+	eng := newLabEngine()
+	doc, _ := labexample.Parse()
+	view, err := eng.ComputeView(labRequest(labexample.Tom), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(`
+<laboratory>
+  <project>
+    <paper category="public">
+      <title>XML Views</title>
+    </paper>
+  </project>
+  <project>
+    <manager>
+      <flname>Bob Codd</flname>
+    </manager>
+    <paper category="public">
+      <title>Crawling the Web</title>
+    </paper>
+  </project>
+</laboratory>`)
+	got := strings.TrimSpace(view.Doc.StringIndent("  "))
+	if got != want {
+		t.Errorf("Tom's view mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The private papers are denied by the schema-level authorization,
+	// not merely unlabeled.
+	if view.Stats.Minus == 0 {
+		t.Error("expected some nodes labeled '-' (private papers)")
+	}
+	if view.Stats.AuthsInstance != 2 || view.Stats.AuthsSchema != 1 {
+		t.Errorf("applicable auths = %d instance / %d schema, want 2/1",
+			view.Stats.AuthsInstance, view.Stats.AuthsSchema)
+	}
+}
+
+// TestFigure3SamView exercises the Admin authorization: Sam, member of
+// Admin, connecting from exactly 130.89.56.8, sees the whole internal
+// project (including its private paper and fund) plus the public papers
+// of other projects.
+func TestFigure3SamView(t *testing.T) {
+	eng := newLabEngine()
+	doc, _ := labexample.Parse()
+	sam := subjects.Requester{User: "Sam", IP: "130.89.56.8", Host: "adminhost.lab.com"}
+	view, err := eng.ComputeView(labRequest(sam), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(`
+<laboratory>
+  <project name="Access Models" type="internal">
+    <manager>
+      <flname>Ada Turing</flname>
+    </manager>
+    <paper category="private">
+      <title>Security Markup</title>
+    </paper>
+    <paper category="public">
+      <title>XML Views</title>
+    </paper>
+    <fund sponsor="MURST">40000</fund>
+  </project>
+  <project>
+    <paper category="public">
+      <title>Crawling the Web</title>
+    </paper>
+  </project>
+</laboratory>`)
+	got := strings.TrimSpace(view.Doc.StringIndent("  "))
+	if got != want {
+		t.Errorf("Sam's view mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestFigure3AnonymousView: a requester matching no group but Public,
+// from a non-.it host, sees only the public papers.
+func TestFigure3AnonymousView(t *testing.T) {
+	eng := newLabEngine()
+	doc, _ := labexample.Parse()
+	anon := subjects.Requester{User: "anonymous", IP: "200.1.2.3", Host: "outside.example.com"}
+	view, err := eng.ComputeView(labRequest(anon), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(view.Doc.StringIndent("  "))
+	want := strings.TrimSpace(`
+<laboratory>
+  <project>
+    <paper category="public">
+      <title>XML Views</title>
+    </paper>
+  </project>
+  <project>
+    <paper category="public">
+      <title>Crawling the Web</title>
+    </paper>
+  </project>
+</laboratory>`)
+	if got != want {
+		t.Errorf("anonymous view mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestFigure3ForeignBlocksPrivateEvenIfPublicGranted: for Tom the
+// schema-level denial on private papers coexists with the instance
+// weak permission on public papers; a document where a paper is both
+// would resolve in favor of the schema level because the permission is
+// weak. Here we check the weak/schema interaction on the real document:
+// flipping authorization 2 to strong (RW→R) must not change Tom's view
+// (no overlap), while adding a schema-level denial on titles must strip
+// them even though the instance permission covers them.
+func TestFigure3WeakSchemaInteraction(t *testing.T) {
+	dir := labexample.Directory()
+	store := labexample.Store()
+	// Schema-level: nobody from group Foreign may read titles.
+	a := mustAuth(t, `<<Foreign,*,*>,laboratory.xml://title,read,-,L>`)
+	if err := store.Add(authz.SchemaLevel, a); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(dir, store)
+	doc, _ := labexample.Parse()
+	view, err := eng.ComputeView(labRequest(labexample.Tom), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := view.Doc.StringIndent("  ")
+	if strings.Contains(got, "<title>") {
+		t.Errorf("schema-level denial should override weak instance permission on titles; got:\n%s", got)
+	}
+	if !strings.Contains(got, `<paper category="public"/>`) {
+		t.Errorf("papers should remain as empty shells (attribute still weak-permitted); got:\n%s", got)
+	}
+}
+
+// TestLargeDocumentView is a scale smoke test: computing a view of a
+// ~40k-node document with a realistic authorization set completes and
+// keeps the label/prune invariants.
+func TestLargeDocumentView(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-document smoke test")
+	}
+	dc := workload.DocConfig{Depth: 6, Fanout: 5, Attrs: 1, Seed: 2}
+	doc := workload.GenDocument(dc)
+	cfg := workload.AuthConfig{N: 64, Doc: dc, SchemaFraction: 0.25, PredicateFraction: 0.4, Seed: 3}.Norm()
+	inst, schema := workload.GenAuths(cfg)
+	store := authz.NewStore()
+	if err := store.AddAll(authz.InstanceLevel, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddAll(authz.SchemaLevel, schema); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(workload.GenDirectory(cfg.Pop), store)
+	req := core.Request{
+		Requester: workload.GenRequester(cfg.Pop, 7),
+		URI:       cfg.URI, DTDURI: cfg.DTDURI,
+	}
+	view, err := eng.ComputeView(req, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Stats.Nodes < 30000 {
+		t.Fatalf("document too small for the smoke test: %d nodes", view.Stats.Nodes)
+	}
+	if view.Stats.Kept > view.Stats.Nodes {
+		t.Fatalf("kept %d > total %d", view.Stats.Kept, view.Stats.Nodes)
+	}
+	if view.Stats.Plus+view.Stats.Minus+view.Stats.Eps != view.Stats.Nodes {
+		t.Fatalf("label counts inconsistent: %+v", view.Stats)
+	}
+}

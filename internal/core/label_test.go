@@ -1,0 +1,81 @@
+package core
+
+import "testing"
+
+func TestFirstDef(t *testing.T) {
+	cases := []struct {
+		in   []Sign
+		want Sign
+	}{
+		{nil, Epsilon},
+		{[]Sign{Epsilon}, Epsilon},
+		{[]Sign{Plus}, Plus},
+		{[]Sign{Minus}, Minus},
+		{[]Sign{Epsilon, Plus}, Plus},
+		{[]Sign{Epsilon, Minus, Plus}, Minus},
+		{[]Sign{Plus, Minus}, Plus},
+		{[]Sign{Epsilon, Epsilon, Epsilon, Minus}, Minus},
+	}
+	for _, c := range cases {
+		if got := FirstDef(c.in...); got != c.want {
+			t.Errorf("FirstDef(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSignString(t *testing.T) {
+	if Epsilon.String() != "ε" || Plus.String() != "+" || Minus.String() != "-" {
+		t.Errorf("unexpected sign strings: %q %q %q", Epsilon, Plus, Minus)
+	}
+}
+
+func TestConflictRuleResolve(t *testing.T) {
+	cases := []struct {
+		rule     ConflictRule
+		pos, neg int
+		want     Sign
+	}{
+		{DenialsTakePrecedence, 1, 0, Plus},
+		{DenialsTakePrecedence, 0, 1, Minus},
+		{DenialsTakePrecedence, 3, 1, Minus},
+		{PermissionsTakePrecedence, 3, 1, Plus},
+		{PermissionsTakePrecedence, 0, 2, Minus},
+		{NothingTakesPrecedence, 1, 1, Epsilon},
+		{NothingTakesPrecedence, 2, 0, Plus},
+		{NothingTakesPrecedence, 0, 2, Minus},
+		{MajorityTakesPrecedence, 2, 1, Plus},
+		{MajorityTakesPrecedence, 1, 2, Minus},
+		{MajorityTakesPrecedence, 2, 2, Epsilon},
+	}
+	for _, c := range cases {
+		if got := c.rule.resolve(c.pos, c.neg); got != c.want {
+			t.Errorf("%v.resolve(%d,%d) = %v, want %v", c.rule, c.pos, c.neg, got, c.want)
+		}
+	}
+}
+
+func TestConflictRuleParse(t *testing.T) {
+	for _, r := range []ConflictRule{
+		DenialsTakePrecedence, PermissionsTakePrecedence,
+		NothingTakesPrecedence, MajorityTakesPrecedence,
+	} {
+		got, err := ParseConflictRule(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseConflictRule(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	if _, err := ParseConflictRule("bogus"); err == nil {
+		t.Error("ParseConflictRule should reject unknown names")
+	}
+}
+
+func TestPolicyVisible(t *testing.T) {
+	closed := Policy{}
+	open := Policy{Open: true}
+	if closed.visible(Epsilon) || !closed.visible(Plus) || closed.visible(Minus) {
+		t.Error("closed policy: only '+' should be visible")
+	}
+	if !open.visible(Epsilon) || !open.visible(Plus) || open.visible(Minus) {
+		t.Error("open policy: everything but '-' should be visible")
+	}
+}

@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/workload"
+)
+
+// visibleSet returns the identity set of nodes kept in the view of doc.
+func visibleSet(t *testing.T, eng *core.Engine, req core.Request, doc *dom.Document) map[string]bool {
+	t.Helper()
+	work := doc.Clone()
+	lb, _, err := eng.Label(req, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := eng.PolicyFor(req.URI)
+	core.PruneDoc(work, lb, pol)
+	out := make(map[string]bool)
+	var walk func(n *dom.Node, path string)
+	walk = func(n *dom.Node, path string) {
+		out[path] = true
+		for _, a := range n.Attrs {
+			out[path+"/@"+a.Name] = true
+		}
+		// Disambiguate same-named siblings by index.
+		idx := map[string]int{}
+		for _, c := range n.Children {
+			if c.Type != dom.ElementNode {
+				continue
+			}
+			idx[c.Name]++
+			walk(c, fmt.Sprintf("%s/%s[%d]", path, c.Name, idx[c.Name]))
+		}
+	}
+	if root := work.DocumentElement(); root != nil {
+		walk(root, "/"+root.Name)
+	}
+	return out
+}
+
+// TestClosedViewSubsetOfOpenView: the closed policy never shows more
+// than the open policy, on random workloads.
+func TestClosedViewSubsetOfOpenView(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		eng, req, doc, _ := randomSetup(seed)
+		closed := visibleSet(t, eng, req, doc)
+		eng.SetPolicy(req.URI, core.Policy{Conflict: core.DenialsTakePrecedence, Open: true})
+		open := visibleSet(t, eng, req, doc)
+		for path := range closed {
+			if !open[path] {
+				t.Errorf("seed %d: %s visible under closed but not open policy", seed, path)
+			}
+		}
+		if len(open) < len(closed) {
+			t.Errorf("seed %d: open view smaller than closed (%d < %d)", seed, len(open), len(closed))
+		}
+	}
+}
+
+// TestAddingDenialNeverWidensView: under denials-take-precedence,
+// installing an additional negative authorization can only shrink (or
+// preserve) the visible set — a safety-monotonicity property of the
+// model.
+func TestAddingDenialNeverWidensView(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		eng, req, doc, _ := randomSetup(seed)
+		before := visibleSet(t, eng, req, doc)
+
+		// A denial that certainly applies to the requester, on a
+		// varying region of the tree.
+		level := 1 + int(seed%3)
+		pe := fmt.Sprintf("//%s", workload.ElemName(level, int(seed)%3))
+		typ := authz.Recursive
+		if seed%2 == 0 {
+			typ = authz.Local
+		}
+		deny, err := authz.New(
+			mustSubject(t, "Public", "*", "*"),
+			authz.Object{URI: req.URI, PathExpr: pe},
+			authz.ReadAction, authz.Deny, typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Store.Add(authz.InstanceLevel, deny); err != nil {
+			t.Fatal(err)
+		}
+		after := visibleSet(t, eng, req, doc)
+		for path := range after {
+			if !before[path] {
+				t.Errorf("seed %d: %s became visible after adding denial %s", seed, path, deny)
+			}
+		}
+	}
+}
+
+func mustSubject(t *testing.T, ug, ip, sn string) subjects.Subject {
+	t.Helper()
+	s, err := subjects.NewSubject(ug, ip, sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// ConflictRule resolves the sign of a non-empty set of equally specific
+// authorizations (the survivors of the most-specific-subject filter) of
+// one type on one node. The paper discusses four such policies
+// (Section 5) plus resolution by majority.
+type ConflictRule int
+
+// Conflict-resolution policies.
+const (
+	// DenialsTakePrecedence yields '-' when any denial is present —
+	// the paper's default, composed with most-specific-subject.
+	DenialsTakePrecedence ConflictRule = iota
+	// PermissionsTakePrecedence yields '+' when any permission is
+	// present.
+	PermissionsTakePrecedence
+	// NothingTakesPrecedence yields ε when both signs are present:
+	// unresolved conflicts cancel out.
+	NothingTakesPrecedence
+	// MajorityTakesPrecedence yields the sign in larger number, ε on a
+	// tie.
+	MajorityTakesPrecedence
+)
+
+// String names the rule.
+func (r ConflictRule) String() string {
+	switch r {
+	case DenialsTakePrecedence:
+		return "denials-take-precedence"
+	case PermissionsTakePrecedence:
+		return "permissions-take-precedence"
+	case NothingTakesPrecedence:
+		return "nothing-takes-precedence"
+	case MajorityTakesPrecedence:
+		return "majority-takes-precedence"
+	default:
+		return fmt.Sprintf("ConflictRule(%d)", int(r))
+	}
+}
+
+// ParseConflictRule parses a rule name as produced by String.
+func ParseConflictRule(s string) (ConflictRule, error) {
+	for _, r := range []ConflictRule{
+		DenialsTakePrecedence, PermissionsTakePrecedence,
+		NothingTakesPrecedence, MajorityTakesPrecedence,
+	} {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown conflict rule %q", s)
+}
+
+// resolve combines the signs of equally specific authorizations.
+// pos/neg are the counts of '+' and '-' among them; at least one is
+// non-zero.
+func (r ConflictRule) resolve(pos, neg int) Sign {
+	switch r {
+	case DenialsTakePrecedence:
+		if neg > 0 {
+			return Minus
+		}
+		return Plus
+	case PermissionsTakePrecedence:
+		if pos > 0 {
+			return Plus
+		}
+		return Minus
+	case NothingTakesPrecedence:
+		if pos > 0 && neg > 0 {
+			return Epsilon
+		}
+		if neg > 0 {
+			return Minus
+		}
+		return Plus
+	case MajorityTakesPrecedence:
+		switch {
+		case pos > neg:
+			return Plus
+		case neg > pos:
+			return Minus
+		default:
+			return Epsilon
+		}
+	}
+	return Epsilon
+}
+
+// Policy is the per-document access-control policy: how residual
+// conflicts resolve and how undefined final labels read. The paper
+// allows different policies on the same server but exactly one per
+// document (Section 5).
+type Policy struct {
+	// Conflict resolves conflicts among equally specific
+	// authorizations.
+	Conflict ConflictRule
+	// Open, when set, interprets an ε final label as a permission (the
+	// open policy); the default is the closed policy, where only nodes
+	// labeled '+' are visible (Section 6.2).
+	Open bool
+}
+
+// DefaultPolicy is the paper's choice: "most specific subject takes
+// precedence" (applied structurally by the labeling), then
+// "denials take precedence" for unresolved conflicts, with the closed
+// policy for unlabeled nodes.
+var DefaultPolicy = Policy{Conflict: DenialsTakePrecedence}
+
+// visible reports whether a final sign grants access under the policy.
+func (p Policy) visible(s Sign) bool {
+	if p.Open {
+		return s != Minus
+	}
+	return s == Plus
+}

@@ -1,0 +1,384 @@
+package core_test
+
+import (
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+// labelFixture labels a small document under the given authorization
+// tuples and returns the final sign of every element/attribute, keyed
+// by its slash path (e.g. "/a/b/@x").
+type labelFixture struct {
+	doc    string
+	inst   []string // instance-level tuples (object URI doc.xml)
+	schema []string // schema-level tuples (object URI doc.dtd)
+	user   string
+	groups []string
+	rule   core.ConflictRule
+}
+
+func (f labelFixture) run(t *testing.T) map[string]core.Sign {
+	t.Helper()
+	res, err := xmlparse.Parse(f.doc, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := subjects.NewDirectory()
+	user := f.user
+	if user == "" {
+		user = "u"
+	}
+	if err := dir.AddUser(user, f.groups...); err != nil {
+		t.Fatal(err)
+	}
+	store := authz.NewStore()
+	for _, tu := range f.inst {
+		if err := store.Add(authz.InstanceLevel, mustAuth(t, tu)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tu := range f.schema {
+		if err := store.Add(authz.SchemaLevel, mustAuth(t, tu)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := core.NewEngine(dir, store)
+	eng.Default = core.Policy{Conflict: f.rule}
+	req := core.Request{
+		Requester: subjects.Requester{User: user, IP: "9.9.9.9", Host: "h.test.org"},
+		URI:       "doc.xml",
+		DTDURI:    "doc.dtd",
+	}
+	lb, _, err := eng.Label(req, res.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]core.Sign)
+	res.Doc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode || n.Type == dom.AttributeNode {
+			got[n.Path()] = lb.FinalOf(n)
+		}
+		return true
+	})
+	return got
+}
+
+func checkSigns(t *testing.T, got map[string]core.Sign, want map[string]core.Sign) {
+	t.Helper()
+	for path, sign := range want {
+		if got[path] != sign {
+			t.Errorf("final(%s) = %v, want %v", path, got[path], sign)
+		}
+	}
+}
+
+const nestedDoc = `<a x="1"><b y="2"><c z="3">t</c></b><d w="4">u</d></a>`
+
+func TestRecursiveGrantPropagates(t *testing.T) {
+	got := labelFixture{
+		doc:  nestedDoc,
+		inst: []string{`<<Public,*,*>,doc.xml:/a,read,+,R>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Plus, "/a/@x": core.Plus,
+		"/a/b": core.Plus, "/a/b/@y": core.Plus,
+		"/a/b/c": core.Plus, "/a/b/c/@z": core.Plus,
+		"/a/d": core.Plus, "/a/d/@w": core.Plus,
+	})
+}
+
+func TestLocalCoversAttributesOnly(t *testing.T) {
+	got := labelFixture{
+		doc:  nestedDoc,
+		inst: []string{`<<Public,*,*>,doc.xml:/a,read,+,L>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Plus, "/a/@x": core.Plus,
+		"/a/b": core.Epsilon, "/a/b/@y": core.Epsilon,
+		"/a/b/c": core.Epsilon, "/a/d": core.Epsilon,
+	})
+}
+
+func TestMoreSpecificObjectOverrides(t *testing.T) {
+	got := labelFixture{
+		doc: nestedDoc,
+		inst: []string{
+			`<<Public,*,*>,doc.xml:/a,read,+,R>`,
+			`<<Public,*,*>,doc.xml:/a/b,read,-,R>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Plus, "/a/@x": core.Plus,
+		"/a/b": core.Minus, "/a/b/@y": core.Minus,
+		"/a/b/c": core.Minus, "/a/b/c/@z": core.Minus,
+		"/a/d": core.Plus, "/a/d/@w": core.Plus,
+	})
+}
+
+func TestExceptionRegrantBelowDenial(t *testing.T) {
+	got := labelFixture{
+		doc: nestedDoc,
+		inst: []string{
+			`<<Public,*,*>,doc.xml:/a,read,-,R>`,
+			`<<Public,*,*>,doc.xml:/a/b/c,read,+,R>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Minus, "/a/b": core.Minus, "/a/b/@y": core.Minus,
+		"/a/b/c": core.Plus, "/a/b/c/@z": core.Plus,
+		"/a/d": core.Minus,
+	})
+}
+
+// TestLocalDenialWithRecursiveGrant reproduces the Section 6.1
+// semantics: a negative Local and a positive Recursive on the same
+// element mean "the whole structured content except the direct
+// attributes can be accessed" — and the element's own tag sign is the
+// local one.
+func TestLocalDenialWithRecursiveGrant(t *testing.T) {
+	got := labelFixture{
+		doc: nestedDoc,
+		inst: []string{
+			`<<Public,*,*>,doc.xml:/a,read,-,L>`,
+			`<<Public,*,*>,doc.xml:/a,read,+,R>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Minus, "/a/@x": core.Minus,
+		"/a/b": core.Plus, "/a/b/@y": core.Plus,
+		"/a/b/c": core.Plus, "/a/d": core.Plus,
+	})
+}
+
+func TestInstanceOverridesSchema(t *testing.T) {
+	got := labelFixture{
+		doc:    nestedDoc,
+		inst:   []string{`<<Public,*,*>,doc.xml:/a,read,-,R>`},
+		schema: []string{`<<Public,*,*>,doc.dtd:/a,read,+,R>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Minus, "/a/b": core.Minus, "/a/b/c": core.Minus,
+	})
+}
+
+func TestSchemaOverridesWeakInstance(t *testing.T) {
+	got := labelFixture{
+		doc:    nestedDoc,
+		inst:   []string{`<<Public,*,*>,doc.xml:/a,read,+,RW>`},
+		schema: []string{`<<Public,*,*>,doc.dtd:/a,read,-,R>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Minus, "/a/b": core.Minus, "/a/b/c/@z": core.Minus,
+	})
+}
+
+func TestWeakInstanceWinsWithoutSchema(t *testing.T) {
+	got := labelFixture{
+		doc:  nestedDoc,
+		inst: []string{`<<Public,*,*>,doc.xml:/a,read,+,RW>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Plus, "/a/b": core.Plus, "/a/b/c/@z": core.Plus,
+	})
+}
+
+// TestWeakOnNodeBlocksStrongFromAncestor: most-specific-object applies
+// within the instance level regardless of strength — a weak recursive
+// on b overrides the strong recursive propagated from a (Figure 2's
+// update rule freezes both slots when either is set), but a schema
+// authorization on the same region still beats the weak sign.
+func TestWeakOnNodeBlocksStrongFromAncestor(t *testing.T) {
+	got := labelFixture{
+		doc: nestedDoc,
+		inst: []string{
+			`<<Public,*,*>,doc.xml:/a,read,-,R>`,
+			`<<Public,*,*>,doc.xml:/a/b,read,+,RW>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Minus, "/a/d": core.Minus,
+		"/a/b": core.Plus, "/a/b/c": core.Plus,
+	})
+
+	got = labelFixture{
+		doc: nestedDoc,
+		inst: []string{
+			`<<Public,*,*>,doc.xml:/a,read,-,R>`,
+			`<<Public,*,*>,doc.xml:/a/b,read,+,RW>`,
+		},
+		schema: []string{`<<Public,*,*>,doc.dtd:/a/b/c,read,-,L>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a/b": core.Plus, "/a/b/c": core.Minus,
+	})
+}
+
+func TestMostSpecificSubjectWins(t *testing.T) {
+	// u is a member of G; G is a member of Public. The denial for G is
+	// more specific than the permission for Public, and the permission
+	// for u is more specific than both.
+	got := labelFixture{
+		doc:    nestedDoc,
+		groups: []string{"G"},
+		inst: []string{
+			`<<Public,*,*>,doc.xml:/a,read,+,R>`,
+			`<<G,*,*>,doc.xml:/a,read,-,R>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{"/a": core.Minus, "/a/b": core.Minus})
+
+	got = labelFixture{
+		doc:    nestedDoc,
+		user:   "alice",
+		groups: []string{"G"},
+		inst: []string{
+			`<<Public,*,*>,doc.xml:/a,read,+,R>`,
+			`<<G,*,*>,doc.xml:/a,read,-,R>`,
+			`<<alice,*,*>,doc.xml:/a,read,+,R>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{"/a": core.Plus, "/a/b": core.Plus})
+}
+
+func TestIncomparableSubjectsDenialsTakePrecedence(t *testing.T) {
+	// Two sibling groups: conflicting signs with incomparable subjects
+	// resolve by denials-take-precedence (the paper's composition).
+	got := labelFixture{
+		doc:    nestedDoc,
+		groups: []string{"G1", "G2"},
+		inst: []string{
+			`<<G1,*,*>,doc.xml:/a,read,+,R>`,
+			`<<G2,*,*>,doc.xml:/a,read,-,R>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{"/a": core.Minus})
+
+	got = labelFixture{
+		doc:    nestedDoc,
+		groups: []string{"G1", "G2"},
+		rule:   core.PermissionsTakePrecedence,
+		inst: []string{
+			`<<G1,*,*>,doc.xml:/a,read,+,R>`,
+			`<<G2,*,*>,doc.xml:/a,read,-,R>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{"/a": core.Plus})
+}
+
+func TestAttributeExplicitOverridesParent(t *testing.T) {
+	got := labelFixture{
+		doc: nestedDoc,
+		inst: []string{
+			`<<Public,*,*>,doc.xml:/a,read,-,R>`,
+			`<<Public,*,*>,doc.xml:/a/@x,read,+,L>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Minus, "/a/@x": core.Plus, "/a/b/@y": core.Minus,
+	})
+}
+
+// TestRecursiveAuthOnAttributeActsLocal: a recursive authorization whose
+// object selects an attribute collapses to local (attributes have no
+// recursive slots).
+func TestRecursiveAuthOnAttributeActsLocal(t *testing.T) {
+	got := labelFixture{
+		doc:  nestedDoc,
+		inst: []string{`<<Public,*,*>,doc.xml:/a/b/@y,read,+,R>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a/b/@y": core.Plus, "/a/b": core.Epsilon, "/a/b/c": core.Epsilon,
+	})
+}
+
+func TestSchemaLocalOnParentCoversAttributes(t *testing.T) {
+	got := labelFixture{
+		doc:    nestedDoc,
+		schema: []string{`<<Public,*,*>,doc.dtd:/a/b,read,+,L>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a/b": core.Plus, "/a/b/@y": core.Plus,
+		"/a/b/c": core.Epsilon, "/a/b/c/@z": core.Epsilon,
+	})
+}
+
+func TestSchemaRecursivePropagates(t *testing.T) {
+	got := labelFixture{
+		doc:    nestedDoc,
+		schema: []string{`<<Public,*,*>,doc.dtd:/a/b,read,-,R>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a": core.Epsilon, "/a/b": core.Minus, "/a/b/@y": core.Minus,
+		"/a/b/c": core.Minus, "/a/b/c/@z": core.Minus, "/a/d": core.Epsilon,
+	})
+}
+
+// TestSchemaRecursiveOverriddenByOwnSchemaLocal: on the same schema
+// channel the more specific object (own LD) beats the inherited RD.
+func TestSchemaChannelSpecificity(t *testing.T) {
+	got := labelFixture{
+		doc: nestedDoc,
+		schema: []string{
+			`<<Public,*,*>,doc.dtd:/a,read,-,R>`,
+			`<<Public,*,*>,doc.dtd:/a/b,read,+,L>`,
+		},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{
+		"/a/b": core.Plus, "/a/b/@y": core.Plus,
+		// LD does not propagate below b's attributes.
+		"/a/b/c": core.Minus,
+	})
+}
+
+// TestConditionedAuthorization: predicates make authorizations
+// content-dependent (Section 4) — only the items satisfying the
+// condition are labeled.
+func TestConditionedAuthorization(t *testing.T) {
+	res, err := xmlparse.Parse(`<root><item kind="open">1</item><item kind="secret">2</item></root>`, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	store := authz.NewStore()
+	if err := store.Add(authz.InstanceLevel,
+		mustAuth(t, `<<Public,*,*>,doc.xml:/root/item[./@kind="open"],read,+,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(dir, store)
+	req := core.Request{
+		Requester: subjects.Requester{User: "u", IP: "9.9.9.9", Host: "h.test.org"},
+		URI:       "doc.xml",
+	}
+	lb, _, err := eng.Label(req, res.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := res.Doc.DocumentElement().ChildElements()
+	if len(items) != 2 {
+		t.Fatalf("want 2 items, got %d", len(items))
+	}
+	if got := lb.FinalOf(items[0]); got != core.Plus {
+		t.Errorf("open item labeled %v, want +", got)
+	}
+	if got := lb.FinalOf(items[1]); got != core.Epsilon {
+		t.Errorf("secret item labeled %v, want ε", got)
+	}
+}
+
+// TestActionMismatch: authorizations for other actions never apply to a
+// read request.
+func TestActionMismatch(t *testing.T) {
+	got := labelFixture{
+		doc:  nestedDoc,
+		inst: []string{`<<Public,*,*>,doc.xml:/a,write,+,R>`},
+	}.run(t)
+	checkSigns(t, got, map[string]core.Sign{"/a": core.Epsilon})
+}

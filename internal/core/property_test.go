@@ -1,0 +1,238 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/dtd"
+	"xmlsec/internal/workload"
+)
+
+// randomSetup builds a random document + authorization set + engine for
+// a given seed.
+func randomSetup(seed int64) (*core.Engine, core.Request, *dom.Document, *dtd.DTD) {
+	dc := workload.DocConfig{Depth: 3, Fanout: 3, Attrs: 2, Seed: seed}
+	cfg := workload.AuthConfig{
+		N: 24, Doc: dc,
+		SchemaFraction:    0.3,
+		WeakFraction:      0.3,
+		PredicateFraction: 0.5,
+		Seed:              seed * 31,
+	}.Norm()
+	doc := workload.GenDocument(dc)
+	d := workload.GenDTD(dc)
+	inst, schema := workload.GenAuths(cfg)
+	store := authz.NewStore()
+	if err := store.AddAll(authz.InstanceLevel, inst); err != nil {
+		panic(err)
+	}
+	if err := store.AddAll(authz.SchemaLevel, schema); err != nil {
+		panic(err)
+	}
+	dir := workload.GenDirectory(cfg.Pop)
+	eng := core.NewEngine(dir, store)
+	req := core.Request{
+		Requester: workload.GenRequester(cfg.Pop, seed+7),
+		URI:       cfg.URI,
+		DTDURI:    cfg.DTDURI,
+	}
+	return eng, req, doc, d
+}
+
+// TestPropagationEquivalentToNaive is the central correctness property:
+// the paper's single-pass propagation labeling computes exactly the
+// same final label for every node as the from-first-principles
+// evaluator that climbs ancestor chains per node (internal/core/naive.go).
+func TestPropagationEquivalentToNaive(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		eng, req, doc, _ := randomSetup(seed)
+		fast, stats, err := eng.Label(req, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := eng.NaiveLabel(req, doc, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.AuthsInstance+stats.AuthsSchema == 0 {
+			continue // uninteresting draw
+		}
+		mismatches := 0
+		doc.Walk(func(n *dom.Node) bool {
+			if n.Type != dom.ElementNode && n.Type != dom.AttributeNode {
+				return true
+			}
+			if f, nv := fast.FinalOf(n), naive.FinalOf(n); f != nv {
+				mismatches++
+				if mismatches <= 5 {
+					t.Errorf("seed %d: %s: propagation=%v naive=%v", seed, n.Path(), f, nv)
+				}
+			}
+			return true
+		})
+		if mismatches > 0 {
+			t.Fatalf("seed %d: %d label mismatches", seed, mismatches)
+		}
+	}
+}
+
+// TestNaiveFullEquivalentToMemo: with and without node-set memoization
+// the naive evaluator agrees (memoization is purely an optimization).
+func TestNaiveFullEquivalentToMemo(t *testing.T) {
+	eng, req, doc, _ := randomSetup(3)
+	memo, err := eng.NaiveLabel(req, doc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := eng.NaiveLabel(req, doc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode || n.Type == dom.AttributeNode {
+			if memo.FinalOf(n) != full.FinalOf(n) {
+				t.Errorf("%s: memo=%v full=%v", n.Path(), memo.FinalOf(n), full.FinalOf(n))
+			}
+		}
+		return true
+	})
+}
+
+// TestViewValidatesAgainstLoosenedDTD is the Section 6.2 guarantee as a
+// property: whatever the authorizations, a non-empty pruned view of a
+// valid document validates against the loosened DTD.
+func TestViewValidatesAgainstLoosenedDTD(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		eng, req, doc, d := randomSetup(seed)
+		if errs := d.Validate(doc, dtd.ValidateOptions{}); errs != nil {
+			t.Fatalf("seed %d: generated document should be valid: %v", seed, errs)
+		}
+		view, err := eng.ComputeView(req, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Doc.DocumentElement() == nil {
+			continue
+		}
+		loose := d.Loosen()
+		if errs := loose.Validate(view.Doc, dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
+			t.Errorf("seed %d: view violates loosened DTD: %v", seed, errs)
+		}
+	}
+}
+
+// TestViewIsSubtreeOfOriginal: pruning only removes — every element,
+// attribute and text of the view exists, at the same path with the same
+// content, in the original.
+func TestViewIsSubtreeOfOriginal(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		eng, req, doc, _ := randomSetup(seed)
+		view, err := eng.ComputeView(req, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := view.Doc.DocumentElement()
+		if root == nil {
+			continue
+		}
+		if !embeds(doc.DocumentElement(), root) {
+			t.Errorf("seed %d: view is not an embedded subtree of the original", seed)
+		}
+	}
+}
+
+// embeds reports whether candidate is an order-preserving subtree of
+// original: same name, attributes a subset, children embeddable in
+// order.
+func embeds(original, candidate *dom.Node) bool {
+	if original == nil || candidate == nil {
+		return candidate == nil
+	}
+	if original.Name != candidate.Name {
+		return false
+	}
+	for _, a := range candidate.Attrs {
+		v, ok := original.Attr(a.Name)
+		if !ok || v != a.Data {
+			return false
+		}
+	}
+	// Greedy order-preserving matching of children.
+	oi := 0
+	for _, c := range candidate.Children {
+		found := false
+		for ; oi < len(original.Children); oi++ {
+			o := original.Children[oi]
+			if o.Type != c.Type {
+				continue
+			}
+			switch c.Type {
+			case dom.ElementNode:
+				if o.Name == c.Name && embeds(o, c) {
+					found = true
+				}
+			default:
+				if o.Data == c.Data {
+					found = true
+				}
+			}
+			if found {
+				oi++
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNoDeniedContentInView: safety — no text content of a '-' labeled
+// element and no '-' labeled attribute value survives into the view.
+func TestNoDeniedContentInView(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		eng, req, doc, _ := randomSetup(seed)
+		work := doc.Clone()
+		lb, _, err := eng.Label(req, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Collect direct text of denied/unlabeled elements before
+		// pruning (they may appear under other elements too, so tag
+		// them with their path).
+		type leak struct{ path, text string }
+		var denied []leak
+		work.Walk(func(n *dom.Node) bool {
+			if n.Type == dom.ElementNode && lb.FinalOf(n) != core.Plus {
+				for _, c := range n.Children {
+					if c.Type == dom.TextNode && strings.TrimSpace(c.Data) != "" {
+						denied = append(denied, leak{n.Path(), c.Data})
+					}
+				}
+			}
+			return true
+		})
+		pol := eng.PolicyFor(req.URI)
+		core.PruneDoc(work, lb, pol)
+		// After pruning, no element at a denied path may still carry
+		// that direct text.
+		work.Walk(func(n *dom.Node) bool {
+			if n.Type == dom.ElementNode {
+				for _, d := range denied {
+					if n.Path() == d.path {
+						for _, c := range n.Children {
+							if c.Type == dom.TextNode && c.Data == d.text {
+								t.Errorf("seed %d: text of non-granted element %s leaked", seed, d.path)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import "xmlsec/internal/dom"
+
+// PruneDoc enforces the transformation step (Section 6.2) on a labeled
+// document, in place: it removes every subtree containing only nodes
+// whose final label does not grant access under the policy, while
+// keeping the start/end tags of denied or unlabeled elements that still
+// have an accessible descendant, so the structure above visible content
+// is preserved.
+//
+// Character data belongs to its containing element: an element kept
+// only as connective structure (final label not granting access) loses
+// its direct text, CDATA, comments and processing instructions, and an
+// attribute survives only on its own label. PruneDoc returns whether
+// any content at all is visible (false leaves an empty document: the
+// requester's view of a fully protected document is empty, matching the
+// closed policy).
+func PruneDoc(doc *dom.Document, lb *Labeling, pol Policy) bool {
+	root := doc.DocumentElement()
+	if root == nil {
+		return false
+	}
+	if !pruneElement(root, lb, pol) {
+		doc.Node.RemoveChild(root)
+		doc.Renumber()
+		return false
+	}
+	doc.Renumber()
+	return true
+}
+
+// pruneElement prunes the subtree rooted at n (postorder, like the
+// paper's prune procedure) and reports whether n survives.
+func pruneElement(n *dom.Node, lb *Labeling, pol Policy) bool {
+	selfVisible := pol.visible(lb.FinalOf(n))
+
+	// Attributes are leaves: they survive on their own label only.
+	kept := n.Attrs[:0]
+	anyAttr := false
+	for _, a := range n.Attrs {
+		if pol.visible(lb.FinalOf(a)) {
+			kept = append(kept, a)
+			anyAttr = true
+		} else {
+			a.Parent = nil
+		}
+	}
+	n.Attrs = kept
+
+	anyChild := false
+	keptCh := n.Children[:0]
+	for _, c := range n.Children {
+		switch c.Type {
+		case dom.ElementNode:
+			if pruneElement(c, lb, pol) {
+				keptCh = append(keptCh, c)
+				anyChild = true
+			} else {
+				c.Parent = nil
+			}
+		default:
+			// Text, CDATA, comments and PIs follow their element's own
+			// visibility.
+			if selfVisible {
+				keptCh = append(keptCh, c)
+			} else {
+				c.Parent = nil
+			}
+		}
+	}
+	n.Children = keptCh
+
+	return selfVisible || anyAttr || anyChild
+}

@@ -1,0 +1,244 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+// flat serializes a view without XML declaration or DOCTYPE, for
+// compact comparisons.
+func flat(v *core.View) string {
+	var b strings.Builder
+	if err := v.Doc.Write(&b, dom.WriteOptions{OmitDecl: true, OmitDocType: true}); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// viewOf computes the view of document docXML for the Public group
+// under the given instance tuples.
+func viewOf(t *testing.T, docXML string, tuples []string, pol core.Policy) *core.View {
+	t.Helper()
+	res, err := xmlparse.Parse(docXML, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	store := authz.NewStore()
+	for _, tu := range tuples {
+		if err := store.Add(authz.InstanceLevel, mustAuth(t, tu)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := core.NewEngine(dir, store)
+	eng.Default = pol
+	req := core.Request{
+		Requester: subjects.Requester{User: "u", IP: "9.9.9.9", Host: "h.test.org"},
+		URI:       "doc.xml",
+	}
+	view, err := eng.ComputeView(req, res.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+func TestPruneKeepsStructureAboveVisible(t *testing.T) {
+	view := viewOf(t,
+		`<a><b><c>deep</c></b><d>gone</d></a>`,
+		[]string{`<<Public,*,*>,doc.xml:/a/b/c,read,+,R>`},
+		core.Policy{},
+	)
+	got := flat(view)
+	want := `<a><b><c>deep</c></b></a>`
+	if got != want {
+		t.Errorf("view = %s, want %s", got, want)
+	}
+}
+
+func TestPruneDropsTextOfStructuralElements(t *testing.T) {
+	// "a" is kept only as structure: its own text must not leak.
+	view := viewOf(t,
+		`<a>secret<b>ok</b></a>`,
+		[]string{`<<Public,*,*>,doc.xml:/a/b,read,+,R>`},
+		core.Policy{},
+	)
+	got := flat(view)
+	if strings.Contains(got, "secret") {
+		t.Errorf("structural element leaked its text: %s", got)
+	}
+	if got != `<a><b>ok</b></a>` {
+		t.Errorf("view = %s", got)
+	}
+}
+
+func TestPruneRemovesDeniedAttributes(t *testing.T) {
+	view := viewOf(t,
+		`<a x="1" y="2"/>`,
+		[]string{
+			`<<Public,*,*>,doc.xml:/a,read,+,L>`,
+			`<<Public,*,*>,doc.xml:/a/@y,read,-,L>`,
+		},
+		core.Policy{},
+	)
+	got := flat(view)
+	if got != `<a x="1"/>` {
+		t.Errorf("view = %s, want <a x=\"1\"/>", got)
+	}
+}
+
+func TestPruneVisibleAttributeKeepsElementShell(t *testing.T) {
+	// An attribute with a positive label keeps its (unlabeled) element
+	// as a shell: attributes are tree nodes, so a positive descendant.
+	view := viewOf(t,
+		`<a><b x="1">hidden</b></a>`,
+		[]string{`<<Public,*,*>,doc.xml:/a/b/@x,read,+,L>`},
+		core.Policy{},
+	)
+	got := flat(view)
+	if got != `<a><b x="1"/></a>` {
+		t.Errorf("view = %s, want <a><b x=\"1\"/></a>", got)
+	}
+}
+
+func TestPruneEmptyViewRemovesRoot(t *testing.T) {
+	view := viewOf(t, `<a><b/></a>`, nil, core.Policy{})
+	if view.Doc.DocumentElement() != nil {
+		t.Errorf("view of unlabeled document under closed policy should be empty, got %s", flat(view))
+	}
+	if view.Stats.Kept != 0 {
+		t.Errorf("Kept = %d, want 0", view.Stats.Kept)
+	}
+}
+
+func TestOpenPolicyShowsUnlabeled(t *testing.T) {
+	view := viewOf(t,
+		`<a><b>keep</b><c>no</c></a>`,
+		[]string{`<<Public,*,*>,doc.xml:/a/c,read,-,R>`},
+		core.Policy{Open: true},
+	)
+	got := flat(view)
+	if got != `<a><b>keep</b></a>` {
+		t.Errorf("open-policy view = %s, want <a><b>keep</b></a>", got)
+	}
+}
+
+func TestClosedPolicyHidesUnlabeled(t *testing.T) {
+	view := viewOf(t,
+		`<a><b>keep</b><c>no</c></a>`,
+		[]string{`<<Public,*,*>,doc.xml:/a/b,read,+,R>`},
+		core.Policy{},
+	)
+	got := flat(view)
+	if got != `<a><b>keep</b></a>` {
+		t.Errorf("closed-policy view = %s, want <a><b>keep</b></a>", got)
+	}
+}
+
+func TestViewDoesNotMutateOriginal(t *testing.T) {
+	res, err := xmlparse.Parse(`<a><b>x</b><c>y</c></a>`, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.Doc.String()
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	store := authz.NewStore()
+	if err := store.Add(authz.InstanceLevel, mustAuth(t, `<<Public,*,*>,doc.xml:/a/b,read,+,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(dir, store)
+	req := core.Request{Requester: subjects.Requester{User: "u", IP: "1.2.3.4"}, URI: "doc.xml"}
+	if _, err := eng.ComputeView(req, res.Doc); err != nil {
+		t.Fatal(err)
+	}
+	if after := res.Doc.String(); after != before {
+		t.Errorf("original mutated:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	view := viewOf(t,
+		`<a x="1"><b/><c/></a>`,
+		[]string{
+			`<<Public,*,*>,doc.xml:/a/b,read,+,R>`,
+			`<<Public,*,*>,doc.xml:/a/c,read,-,R>`,
+		},
+		core.Policy{},
+	)
+	// Nodes: a, @x, b, c = 4. Labeled: b '+', c '-'; a and @x ε.
+	if view.Stats.Nodes != 4 || view.Stats.Plus != 1 || view.Stats.Minus != 1 || view.Stats.Eps != 2 {
+		t.Errorf("stats = %+v, want Nodes 4, 1+/1-/2ε", view.Stats)
+	}
+	// Kept: a (structure) and b.
+	if view.Stats.Kept != 2 {
+		t.Errorf("Kept = %d, want 2", view.Stats.Kept)
+	}
+}
+
+func TestPruneDropsCommentsAndPIsOfStructuralElements(t *testing.T) {
+	res, err := xmlparse.Parse(
+		`<a><!--note--><?pi data?><b>ok</b></a>`,
+		xmlparse.Options{KeepComments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	store := authz.NewStore()
+	if err := store.Add(authz.InstanceLevel, mustAuth(t, `<<Public,*,*>,doc.xml:/a/b,read,+,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(dir, store)
+	req := core.Request{Requester: subjects.Requester{User: "u", IP: "1.1.1.1"}, URI: "doc.xml"}
+	view, err := eng.ComputeView(req, res.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := flat(view)
+	if strings.Contains(got, "note") || strings.Contains(got, "pi data") {
+		t.Errorf("structural element leaked comment/PI: %s", got)
+	}
+	if got != `<a><b>ok</b></a>` {
+		t.Errorf("view = %s", got)
+	}
+}
+
+func TestPruneKeepsCommentsOfGrantedElements(t *testing.T) {
+	res, err := xmlparse.Parse(
+		`<a><!--keep me--><b>ok</b></a>`,
+		xmlparse.Options{KeepComments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	store := authz.NewStore()
+	if err := store.Add(authz.InstanceLevel, mustAuth(t, `<<Public,*,*>,doc.xml:/a,read,+,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(dir, store)
+	req := core.Request{Requester: subjects.Requester{User: "u", IP: "1.1.1.1"}, URI: "doc.xml"}
+	view, err := eng.ComputeView(req, res.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flat(view); got != `<a><!--keep me--><b>ok</b></a>` {
+		t.Errorf("view = %s", got)
+	}
+}

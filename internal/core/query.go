@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"xmlsec/internal/dom"
+	"xmlsec/internal/xpath"
+)
+
+// Query evaluates an XPath expression against the view — not against
+// the original document — so query answers are safe by construction:
+// whatever a requester cannot see in the view, no query can select.
+// This implements the paper's first "further work" item (Section 8),
+// requests in the form of generic queries, with the obvious security
+// semantics: query(doc) ≡ query(view(doc)).
+//
+// The result is a node-set in document order; nodes belong to the view
+// document and may be serialized with dom.MarkupString.
+func (v *View) Query(expr string) ([]*dom.Node, error) {
+	p, err := xpath.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	if v.Doc.DocumentElement() == nil {
+		return nil, nil
+	}
+	return p.SelectDoc(v.Doc)
+}
+
+// QueryResult wraps query matches as an XML document
+// <result count="n" query="..."> with one <match> child per selected
+// node (elements are embedded as markup; attributes and text become
+// <match name="...">value</match>).
+func (v *View) QueryResult(expr string) (*dom.Document, error) {
+	nodes, err := v.Query(expr)
+	if err != nil {
+		return nil, err
+	}
+	doc := dom.NewDocument()
+	root := dom.NewElement("result")
+	root.SetAttr("query", expr)
+	root.SetAttr("count", fmt.Sprintf("%d", len(nodes)))
+	for _, n := range nodes {
+		m := dom.NewElement("match")
+		switch n.Type {
+		case dom.ElementNode:
+			m.AppendChild(n.Clone())
+		case dom.AttributeNode:
+			m.SetAttr("name", n.Name)
+			m.AppendChild(dom.NewText(n.Data))
+		default:
+			m.AppendChild(dom.NewText(n.Data))
+		}
+		root.AppendChild(m)
+	}
+	doc.SetDocumentElement(root)
+	doc.Renumber()
+	return doc, nil
+}

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsec/internal/core"
+	"xmlsec/internal/labexample"
+)
+
+func tomView(t *testing.T) *core.View {
+	t.Helper()
+	eng := core.NewEngine(labexample.Directory(), labexample.Store())
+	doc, _ := labexample.Parse()
+	view, err := eng.ComputeView(labRequest(labexample.Tom), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+func TestQuerySelectsOnlyVisible(t *testing.T) {
+	view := tomView(t)
+	nodes, err := view.Query("//paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("Tom's //paper query = %d nodes, want 2 (public only)", len(nodes))
+	}
+	for _, n := range nodes {
+		if v, _ := n.Attr("category"); v != "public" {
+			t.Errorf("non-public paper in query result: %v", v)
+		}
+	}
+	// Directly naming protected content yields nothing.
+	nodes, err = view.Query(`//paper[@category="private"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 0 {
+		t.Errorf("private papers selectable through the view: %d nodes", len(nodes))
+	}
+	// Hidden attributes are gone too.
+	nodes, err = view.Query("//project/@name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 0 {
+		t.Errorf("pruned attributes selectable: %d nodes", len(nodes))
+	}
+}
+
+func TestQueryResultDocument(t *testing.T) {
+	view := tomView(t)
+	res, err := view.QueryResult("//title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.DocumentElement()
+	if root.Name != "result" {
+		t.Fatalf("result root = %s", root.Name)
+	}
+	if v, _ := root.Attr("count"); v != "2" {
+		t.Errorf("count = %s", v)
+	}
+	out := res.StringIndent("  ")
+	if !strings.Contains(out, "XML Views") || strings.Contains(out, "Security Markup") {
+		t.Errorf("result content wrong:\n%s", out)
+	}
+	// Attribute matches render as named values.
+	res, err = view.QueryResult("//paper/@category")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = res.StringIndent("  ")
+	if !strings.Contains(out, `<match name="category">public</match>`) {
+		t.Errorf("attribute match rendering wrong:\n%s", out)
+	}
+}
+
+func TestQueryErrorsAndEmptyView(t *testing.T) {
+	view := tomView(t)
+	if _, err := view.Query("///"); err == nil {
+		t.Error("bad expression should fail")
+	}
+	// Query over an empty view returns no nodes.
+	eng := core.NewEngine(labexample.Directory(), labexample.Store())
+	doc, _ := labexample.Parse()
+	req := labRequest(labexample.Tom)
+	req.URI = "unknown.xml" // no authorizations → empty view
+	req.DTDURI = ""
+	empty, err := eng.ComputeView(req, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := empty.Query("//paper")
+	if err != nil || len(nodes) != 0 {
+		t.Errorf("empty view query = %v, %v", nodes, err)
+	}
+}

@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+// TestSchemaAuthorizationsGovernAllInstances: the central point of
+// schema-level authorizations (Section 5) — one rule on the DTD
+// protects every document instance, while instance-level rules stay
+// per-document.
+func TestSchemaAuthorizationsGovernAllInstances(t *testing.T) {
+	docA := `<note><to>ann</to><body>hello</body><secret>k1</secret></note>`
+	docB := `<note><to>bob</to><body>bye</body><secret>k2</secret></note>`
+	resA, err := xmlparse.Parse(docA, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := xmlparse.Parse(docB, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	store := authz.NewStore()
+	// Schema level: everyone may read notes, nobody their secrets.
+	if err := store.Add(authz.SchemaLevel, mustAuth(t, `<<Public,*,*>,note.dtd:/note,read,+,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Add(authz.SchemaLevel, mustAuth(t, `<<Public,*,*>,note.dtd://secret,read,-,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	// Instance level: document B additionally hides its body from u.
+	if err := store.Add(authz.InstanceLevel, mustAuth(t, `<<u,*,*>,b.xml:/note/body,read,-,R>`)); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := core.NewEngine(dir, store)
+	rq := subjects.Requester{User: "u", IP: "1.2.3.4", Host: "h.example.org"}
+
+	viewA, err := eng.ComputeView(core.Request{Requester: rq, URI: "a.xml", DTDURI: "note.dtd"}, resA.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA := viewA.Doc.StringIndent("")
+	if strings.Contains(gotA, "k1") || !strings.Contains(gotA, "hello") {
+		t.Errorf("view of A wrong: %s", gotA)
+	}
+
+	viewB, err := eng.ComputeView(core.Request{Requester: rq, URI: "b.xml", DTDURI: "note.dtd"}, resB.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB := viewB.Doc.StringIndent("")
+	if strings.Contains(gotB, "k2") {
+		t.Errorf("schema denial failed on B: %s", gotB)
+	}
+	if strings.Contains(gotB, "bye") {
+		t.Errorf("instance denial on B's body failed: %s", gotB)
+	}
+	if !strings.Contains(gotB, "bob") {
+		t.Errorf("B's <to> should remain visible: %s", gotB)
+	}
+
+	// A document of a different DTD is untouched by these schema rules.
+	viewC, err := eng.ComputeView(core.Request{Requester: rq, URI: "c.xml", DTDURI: "other.dtd"}, resA.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viewC.Doc.DocumentElement() != nil {
+		t.Errorf("unrelated DTD should leave the document unlabeled (empty view), got %s",
+			viewC.Doc.StringIndent(""))
+	}
+}

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+// TestTimeBoundedAuthorization: an authorization with a validity window
+// applies only for requests inside it (the Section 8 time-based
+// extension).
+func TestTimeBoundedAuthorization(t *testing.T) {
+	res, err := xmlparse.Parse(`<a><b>x</b></a>`, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	a := mustAuth(t, `<<Public,*,*>,doc.xml:/a,read,+,R>`)
+	a.Validity = authz.Validity{
+		NotBefore: time.Date(2000, 3, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:  time.Date(2000, 6, 30, 23, 59, 59, 0, time.UTC),
+	}
+	store := authz.NewStore()
+	if err := store.Add(authz.InstanceLevel, a); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(dir, store)
+	base := core.Request{
+		Requester: subjects.Requester{User: "u", IP: "1.2.3.4"},
+		URI:       "doc.xml",
+	}
+
+	cases := []struct {
+		at      time.Time
+		visible bool
+	}{
+		{time.Date(2000, 2, 1, 0, 0, 0, 0, time.UTC), false},  // before
+		{time.Date(2000, 3, 1, 0, 0, 0, 0, time.UTC), true},   // first instant
+		{time.Date(2000, 5, 15, 12, 0, 0, 0, time.UTC), true}, // inside
+		{time.Date(2000, 7, 1, 0, 0, 0, 0, time.UTC), false},  // after
+	}
+	for _, c := range cases {
+		req := base
+		req.At = c.at
+		view, err := eng.ComputeView(req, res.Doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := view.Doc.DocumentElement() != nil
+		if got != c.visible {
+			t.Errorf("at %s: visible = %v, want %v", c.at.Format(time.RFC3339), got, c.visible)
+		}
+	}
+}
+
+func TestValidityHelpers(t *testing.T) {
+	var v authz.Validity
+	if !v.IsZero() || !v.Contains(time.Now()) {
+		t.Error("zero validity should contain everything")
+	}
+	v.NotBefore = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	v.NotAfter = time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := v.Validate(); err == nil {
+		t.Error("inverted window should be rejected")
+	}
+	v.NotAfter = time.Date(2001, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := v.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestXACLValidityRoundTrip: validity attributes survive the XACL
+// format and are rejected when malformed or inverted.
+func TestXACLValidityRoundTrip(t *testing.T) {
+	a := authz.MustParse(`<<Public,*,*>,d.xml:/a,read,+,R>`)
+	a.Validity.NotBefore = time.Date(2000, 3, 1, 9, 0, 0, 0, time.UTC)
+	a.Validity.NotAfter = time.Date(2000, 6, 30, 17, 0, 0, 0, time.UTC)
+	x := &authz.XACL{About: "d.xml", Auths: []*authz.Authorization{a}}
+	out := x.String()
+	if !strings.Contains(out, `valid-from="2000-03-01T09:00:00Z"`) {
+		t.Fatalf("valid-from missing:\n%s", out)
+	}
+	x2, err := authz.ParseXACL(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x2.Auths[0].Validity.NotBefore.Equal(a.Validity.NotBefore) ||
+		!x2.Auths[0].Validity.NotAfter.Equal(a.Validity.NotAfter) {
+		t.Errorf("validity lost in round trip: %+v", x2.Auths[0].Validity)
+	}
+
+	// Bare dates are accepted; garbage and inverted windows are not.
+	src := strings.Replace(out, `valid-from="2000-03-01T09:00:00Z"`, `valid-from="2000-03-01"`, 1)
+	if _, err := authz.ParseXACL(src); err != nil {
+		t.Errorf("bare date should parse: %v", err)
+	}
+	src = strings.Replace(out, `valid-from="2000-03-01T09:00:00Z"`, `valid-from="March"`, 1)
+	if _, err := authz.ParseXACL(src); err == nil {
+		t.Error("garbage date accepted")
+	}
+	src = strings.Replace(out, `valid-from="2000-03-01T09:00:00Z"`, `valid-from="2001-01-01"`, 1)
+	if _, err := authz.ParseXACL(src); err == nil {
+		t.Error("inverted window accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package dom
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildDoc constructs a document from a tiny builder DSL-free helper.
+func docFrom(root *Node) *Document {
+	d := NewDocument()
+	d.SetDocumentElement(root)
+	d.Renumber()
+	return d
+}
+
+func el(name string, attrs map[string]string, children ...*Node) *Node {
+	e := NewElement(name)
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.SetAttr(k, attrs[k])
+	}
+	for _, c := range children {
+		e.AppendChild(c)
+	}
+	return e
+}
+
+func changeStrings(cs []Change) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDiffIdentical(t *testing.T) {
+	mk := func() *Document {
+		return docFrom(el("a", map[string]string{"x": "1"},
+			el("b", nil, NewText("t")),
+			el("c", nil)))
+	}
+	if cs := Diff(mk(), mk()); len(cs) != 0 {
+		t.Errorf("identical documents diff = %v", changeStrings(cs))
+	}
+}
+
+func TestDiffAttrChanges(t *testing.T) {
+	oldD := docFrom(el("a", map[string]string{"keep": "1", "mod": "old", "gone": "x"}))
+	newD := docFrom(el("a", map[string]string{"keep": "1", "mod": "new", "added": "y"}))
+	cs := Diff(oldD, newD)
+	got := changeStrings(cs)
+	want := []string{
+		`add @added="y" on /a`,
+		`remove /a/@gone`,
+		`set /a/@mod="new"`,
+	}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("attr diff = %v, want %v", got, want)
+	}
+}
+
+func TestDiffInsertDelete(t *testing.T) {
+	oldD := docFrom(el("a", nil, el("b", nil), el("c", nil)))
+	newD := docFrom(el("a", nil, el("b", nil), el("d", nil)))
+	got := changeStrings(Diff(oldD, newD))
+	want := []string{"delete /a/c", "insert d under /a"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("diff = %v, want %v", got, want)
+	}
+}
+
+func TestDiffTextEdit(t *testing.T) {
+	oldD := docFrom(el("a", nil, el("b", nil, NewText("old"))))
+	newD := docFrom(el("a", nil, el("b", nil, NewText("new"))))
+	got := changeStrings(Diff(oldD, newD))
+	if len(got) != 1 || got[0] != "edit content of /a/b" {
+		t.Errorf("diff = %v", got)
+	}
+}
+
+func TestDiffNestedRecursion(t *testing.T) {
+	oldD := docFrom(el("a", nil,
+		el("p", map[string]string{"id": "1"}, el("q", nil, NewText("x"))),
+		el("p", map[string]string{"id": "2"}, el("q", nil, NewText("y"))),
+	))
+	newD := docFrom(el("a", nil,
+		el("p", map[string]string{"id": "1"}, el("q", nil, NewText("x"))),
+		el("p", map[string]string{"id": "2"}, el("q", nil, NewText("CHANGED"))),
+	))
+	got := changeStrings(Diff(oldD, newD))
+	if len(got) != 1 || got[0] != "edit content of /a/p/q" {
+		t.Errorf("diff = %v", got)
+	}
+	// The change's Old node must be the q of the SECOND p.
+	cs := Diff(oldD, newD)
+	if v, _ := cs[0].Old.Parent.Attr("id"); v != "2" {
+		t.Errorf("edit attributed to p[id=%s], want 2", v)
+	}
+}
+
+func TestDiffRenamedRoot(t *testing.T) {
+	oldD := docFrom(el("a", nil))
+	newD := docFrom(el("z", nil))
+	got := changeStrings(Diff(oldD, newD))
+	want := []string{"delete /a", "insert z under /"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("diff = %v, want %v", got, want)
+	}
+}
+
+func TestDiffLCSKeepsStableSiblings(t *testing.T) {
+	// Insert in the middle: only the insertion is reported, the
+	// existing siblings align.
+	oldD := docFrom(el("a", nil, el("x", nil), el("y", nil), el("z", nil)))
+	newD := docFrom(el("a", nil, el("x", nil), el("w", nil), el("y", nil), el("z", nil)))
+	got := changeStrings(Diff(oldD, newD))
+	if len(got) != 1 || got[0] != "insert w under /a" {
+		t.Errorf("diff = %v", got)
+	}
+	// Same-name runs align in order: dropping one of three <i> reports
+	// exactly one deletion.
+	oldD = docFrom(el("a", nil,
+		el("i", nil, NewText("1")), el("i", nil, NewText("2")), el("i", nil, NewText("3"))))
+	newD = docFrom(el("a", nil,
+		el("i", nil, NewText("1")), el("i", nil, NewText("3"))))
+	cs := Diff(oldD, newD)
+	dels, edits := 0, 0
+	for _, c := range cs {
+		switch c.Kind {
+		case DeleteNode:
+			dels++
+		case EditContent:
+			edits++
+		}
+	}
+	// Alignment by name cannot see text, so either (1 delete) with an
+	// edit, or 1 delete exactly; both are conservative and acceptable —
+	// but there must be no inserts.
+	for _, c := range cs {
+		if c.Kind == InsertNode {
+			t.Errorf("unexpected insert in %v", changeStrings(cs))
+		}
+	}
+	if dels != 1 {
+		t.Errorf("diff = %v, want exactly one delete", changeStrings(cs))
+	}
+}
+
+func TestDiffDoesNotMutate(t *testing.T) {
+	oldD := docFrom(el("a", map[string]string{"x": "1"}, el("b", nil, NewText("t"))))
+	newD := docFrom(el("a", nil, el("c", nil)))
+	so, sn := oldD.String(), newD.String()
+	_ = Diff(oldD, newD)
+	if oldD.String() != so || newD.String() != sn {
+		t.Error("Diff mutated its inputs")
+	}
+}
+
+func TestDiffCommentAndPIContent(t *testing.T) {
+	mkOld := func() *Node {
+		e := el("a", nil)
+		e.AppendChild(NewComment("c1"))
+		return e
+	}
+	mkNew := func() *Node {
+		e := el("a", nil)
+		e.AppendChild(NewComment("c2"))
+		return e
+	}
+	got := changeStrings(Diff(docFrom(mkOld()), docFrom(mkNew())))
+	if len(got) != 1 || got[0] != "edit content of /a" {
+		t.Errorf("diff = %v", got)
+	}
+}

@@ -1,0 +1,157 @@
+package dom
+
+// DocType records the document type declaration of a document: its name
+// and external identifiers. The parsed DTD itself is represented by the
+// dtd package; xmlparse returns it alongside the document.
+type DocType struct {
+	// Name is the declared document element name.
+	Name string
+	// PublicID and SystemID are the external identifiers, if any.
+	PublicID string
+	// SystemID is the system literal of the external subset, if any.
+	SystemID string
+	// InternalSubset is the verbatim text between '[' and ']' of the
+	// DOCTYPE declaration, preserved for re-serialization.
+	InternalSubset string
+}
+
+// Document is the root of a DOM tree. Its node has Type DocumentNode and
+// its children are the top-level comments, processing instructions, and
+// the single document element.
+type Document struct {
+	// Node is the document node; Node.Children holds the prolog items
+	// and the document element.
+	Node *Node
+
+	// XMLDecl preserves the XML declaration attributes, if present.
+	Version    string
+	Encoding   string
+	Standalone string // "", "yes", or "no"
+
+	// DocType is the document type declaration, or nil.
+	DocType *DocType
+}
+
+// NewDocument returns an empty document with a fresh document node.
+func NewDocument() *Document {
+	return &Document{Node: &Node{Type: DocumentNode}, Version: "1.0"}
+}
+
+// DocumentElement returns the document's root element, or nil if the
+// document has none (an invalid state outside of construction).
+func (d *Document) DocumentElement() *Node {
+	if d == nil || d.Node == nil {
+		return nil
+	}
+	return d.Node.FirstChildElement("")
+}
+
+// SetDocumentElement installs e as the document element, replacing any
+// existing one and preserving prolog comments/PIs.
+func (d *Document) SetDocumentElement(e *Node) {
+	if old := d.DocumentElement(); old != nil {
+		d.Node.RemoveChild(old)
+	}
+	d.Node.AppendChild(e)
+}
+
+// Renumber assigns document-order indexes to every node in the document:
+// a preorder walk in which each element precedes its attributes, which
+// precede its children. XPath node-set ordering relies on these indexes.
+// It returns the number of nodes numbered.
+func (d *Document) Renumber() int {
+	next := 0
+	var walk func(*Node)
+	walk = func(n *Node) {
+		n.Order = next
+		next++
+		for _, a := range n.Attrs {
+			a.Order = next
+			next++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(d.Node)
+	return next
+}
+
+// Clone returns a deep copy of the document, renumbered.
+func (d *Document) Clone() *Document {
+	c, _ := d.CloneWithMap()
+	return c
+}
+
+// CloneWithMap returns a deep copy of the document together with the
+// mapping from each copied node back to its original — the provenance
+// the write-through-views merge needs to translate view nodes into
+// authorization targets on the original tree.
+func (d *Document) CloneWithMap() (*Document, map[*Node]*Node) {
+	origin := make(map[*Node]*Node)
+	var cloneNode func(n *Node) *Node
+	cloneNode = func(n *Node) *Node {
+		c := &Node{Type: n.Type, Name: n.Name, Data: n.Data, Order: n.Order, Defaulted: n.Defaulted}
+		origin[c] = n
+		for _, a := range n.Attrs {
+			ac := cloneNode(a)
+			ac.Parent = c
+			c.Attrs = append(c.Attrs, ac)
+		}
+		for _, ch := range n.Children {
+			cc := cloneNode(ch)
+			cc.Parent = c
+			c.Children = append(c.Children, cc)
+		}
+		return c
+	}
+	c := &Document{
+		Node:       cloneNode(d.Node),
+		Version:    d.Version,
+		Encoding:   d.Encoding,
+		Standalone: d.Standalone,
+	}
+	if d.DocType != nil {
+		dt := *d.DocType
+		c.DocType = &dt
+	}
+	c.Renumber()
+	return c, origin
+}
+
+// CountNodes returns the number of element and attribute nodes in the
+// document, the unit in which the paper's labeling algorithm works.
+func (d *Document) CountNodes() int {
+	n := 0
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Type == ElementNode {
+			n++
+			n += len(m.Attrs)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(d.Node)
+	return n
+}
+
+// Walk visits every node of the document in document order (elements
+// before their attributes before their children) and calls f on each.
+// If f returns false the walk skips the node's attributes and children.
+func (d *Document) Walk(f func(*Node) bool) {
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if !f(n) {
+			return
+		}
+		for _, a := range n.Attrs {
+			f(a)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(d.Node)
+}

@@ -1,0 +1,137 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// accepts builds a DTD with one element "r" whose content model is
+// model, and checks acceptance of each sequence.
+func accepts(t *testing.T, model string, yes, no [][]string) {
+	t.Helper()
+	d := MustParse("<!ELEMENT r " + model + ">" + declareAll(model))
+	for _, seq := range yes {
+		if !d.AcceptsSequence("r", seq) {
+			t.Errorf("model %s should accept %v", model, seq)
+		}
+	}
+	for _, seq := range no {
+		if d.AcceptsSequence("r", seq) {
+			t.Errorf("model %s should reject %v", model, seq)
+		}
+	}
+}
+
+// declareAll declares every single-letter element name used in a model
+// so ANY checks have declarations to point at.
+func declareAll(model string) string {
+	var b strings.Builder
+	seen := map[byte]bool{}
+	for i := 0; i < len(model); i++ {
+		c := model[i]
+		if c >= 'a' && c <= 'z' && c != 'r' && !seen[c] {
+			seen[c] = true
+			b.WriteString("<!ELEMENT ")
+			b.WriteByte(c)
+			b.WriteString(" EMPTY>")
+		}
+	}
+	return b.String()
+}
+
+func s(names ...string) []string { return names }
+
+func TestAutomatonSequence(t *testing.T) {
+	accepts(t, "(a,b,c)",
+		[][]string{s("a", "b", "c")},
+		[][]string{s(), s("a"), s("a", "b"), s("a", "b", "c", "c"), s("b", "a", "c"), s("x")},
+	)
+}
+
+func TestAutomatonChoice(t *testing.T) {
+	accepts(t, "(a|b|c)",
+		[][]string{s("a"), s("b"), s("c")},
+		[][]string{s(), s("a", "b"), s("d")},
+	)
+}
+
+func TestAutomatonOptional(t *testing.T) {
+	accepts(t, "(a,b?,c)",
+		[][]string{s("a", "c"), s("a", "b", "c")},
+		[][]string{s("a", "b"), s("a", "b", "b", "c"), s("c")},
+	)
+}
+
+func TestAutomatonStar(t *testing.T) {
+	accepts(t, "(a*)",
+		[][]string{s(), s("a"), s("a", "a", "a")},
+		[][]string{s("b"), s("a", "b")},
+	)
+}
+
+func TestAutomatonPlus(t *testing.T) {
+	accepts(t, "(a+,b)",
+		[][]string{s("a", "b"), s("a", "a", "b")},
+		[][]string{s("b"), s("a"), s("a", "b", "b")},
+	)
+}
+
+func TestAutomatonNestedGroups(t *testing.T) {
+	accepts(t, "((a,b)|(c,d))+",
+		[][]string{s("a", "b"), s("c", "d"), s("a", "b", "c", "d"), s("c", "d", "c", "d")},
+		[][]string{s(), s("a"), s("a", "d"), s("a", "b", "c")},
+	)
+}
+
+func TestAutomatonComplex(t *testing.T) {
+	// The paper's project model.
+	accepts(t, "(a,b*,c?)",
+		[][]string{s("a"), s("a", "b"), s("a", "b", "b", "c"), s("a", "c")},
+		[][]string{s(), s("b"), s("a", "c", "b"), s("a", "c", "c")},
+	)
+}
+
+func TestAutomatonDeeplyOptional(t *testing.T) {
+	// Fully loosened model: everything matches, including empty.
+	accepts(t, "(a?,b*,(c|d)?)?",
+		[][]string{s(), s("a"), s("b", "b"), s("a", "b", "c"), s("d")},
+		[][]string{s("c", "c"), s("b", "a")},
+	)
+}
+
+func TestAutomatonNondeterministic(t *testing.T) {
+	// (a,b)|(a,c) is non-deterministic; XML forbids it but the NFA
+	// simulation validates it correctly (needed for loosened models).
+	accepts(t, "((a,b)|(a,c))",
+		[][]string{s("a", "b"), s("a", "c")},
+		[][]string{s("a"), s("a", "a"), s("b")},
+	)
+}
+
+func TestAcceptsSequenceKinds(t *testing.T) {
+	d := MustParse(`
+		<!ELEMENT r EMPTY>
+		<!ELEMENT any ANY>
+		<!ELEMENT mix (#PCDATA|r)*>
+	`)
+	if !d.AcceptsSequence("r", nil) || d.AcceptsSequence("r", s("r")) {
+		t.Error("EMPTY acceptance wrong")
+	}
+	if !d.AcceptsSequence("any", s("r", "mix")) || d.AcceptsSequence("any", s("ghost")) {
+		t.Error("ANY acceptance wrong")
+	}
+	if !d.AcceptsSequence("mix", s("r", "r")) || d.AcceptsSequence("mix", s("any")) {
+		t.Error("mixed acceptance wrong")
+	}
+	if d.AcceptsSequence("ghost", nil) {
+		t.Error("undeclared element should accept nothing")
+	}
+}
+
+func TestCompileAll(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (b,c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>`)
+	d.CompileAll()
+	if d.Element("a").auto == nil {
+		t.Error("CompileAll did not compile the content model")
+	}
+}

@@ -1,0 +1,90 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchModel builds a content model of width alternating choices and
+// sequences, plus its element declarations.
+func benchModel(width int) *DTD {
+	var b strings.Builder
+	b.WriteString("<!ELEMENT r (")
+	for i := 0; i < width; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "(x%d|y%d)*", i, i)
+	}
+	b.WriteString(")>")
+	for i := 0; i < width; i++ {
+		fmt.Fprintf(&b, "<!ELEMENT x%d EMPTY><!ELEMENT y%d EMPTY>", i, i)
+	}
+	return MustParse(b.String())
+}
+
+func benchSequence(width, reps int) []string {
+	var seq []string
+	for i := 0; i < width; i++ {
+		for r := 0; r < reps; r++ {
+			if r%2 == 0 {
+				seq = append(seq, fmt.Sprintf("x%d", i))
+			} else {
+				seq = append(seq, fmt.Sprintf("y%d", i))
+			}
+		}
+	}
+	return seq
+}
+
+// BenchmarkAutomatonCompile measures Glushkov construction cost.
+func BenchmarkAutomatonCompile(b *testing.B) {
+	for _, width := range []int{4, 16, 64} {
+		d := benchModel(width)
+		model := d.Element("r").Model
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = compile(model)
+			}
+		})
+	}
+}
+
+// BenchmarkAutomatonMatch measures acceptance checking, the inner loop
+// of validation.
+func BenchmarkAutomatonMatch(b *testing.B) {
+	for _, width := range []int{4, 16, 64} {
+		d := benchModel(width)
+		d.CompileAll()
+		seq := benchSequence(width, 4)
+		b.Run(fmt.Sprintf("width=%d/children=%d", width, len(seq)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !d.AcceptsSequence("r", seq) {
+					b.Fatal("sequence should match")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoosenScaling measures the loosening transformation on a
+// DTD with many declarations.
+func BenchmarkLoosenScaling(b *testing.B) {
+	for _, n := range []int{8, 64, 256} {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "<!ELEMENT e%d (e%d?, e%d*)>\n", i, (i+1)%n, (i+2)%n)
+			fmt.Fprintf(&sb, "<!ATTLIST e%d k CDATA #REQUIRED>\n", i)
+		}
+		d := MustParse(sb.String())
+		b.Run(fmt.Sprintf("decls=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = d.Loosen()
+			}
+		})
+	}
+}

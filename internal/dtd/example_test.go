@@ -1,0 +1,48 @@
+package dtd_test
+
+import (
+	"fmt"
+
+	"xmlsec/internal/dom"
+	"xmlsec/internal/dtd"
+	"xmlsec/internal/xmlparse"
+)
+
+// ExampleDTD_Loosen shows the paper's Section 6.2 transformation: every
+// required component becomes optional, so pruned views stay valid.
+func ExampleDTD_Loosen() {
+	d := dtd.MustParse(`<!ELEMENT memo (subject, body)>
+<!ATTLIST memo from CDATA #REQUIRED>
+<!ELEMENT subject (#PCDATA)>
+<!ELEMENT body (#PCDATA)>
+`)
+	fmt.Print(d.Loosen().String())
+	// Output:
+	// <!ELEMENT memo (subject?,body?)?>
+	// <!ATTLIST memo
+	// 	from CDATA #IMPLIED>
+	// <!ELEMENT subject (#PCDATA)>
+	// <!ELEMENT body (#PCDATA)>
+}
+
+// ExampleDTD_Validate checks a document against its DTD.
+func ExampleDTD_Validate() {
+	d := dtd.MustParse(`<!ELEMENT a (b+)><!ELEMENT b EMPTY>`)
+	d.Name = "a"
+	doc := parseDoc(`<a></a>`)
+	errs := d.Validate(doc, dtd.ValidateOptions{})
+	fmt.Println(len(errs))
+	fmt.Println(errs[0].Msg)
+	// Output:
+	// 1
+	// content of "a" ends prematurely: () does not complete (b+)
+}
+
+// parseDoc is a test helper wrapping the xmlparse package.
+func parseDoc(src string) *dom.Document {
+	res, err := xmlparse.Parse(src, xmlparse.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return res.Doc
+}

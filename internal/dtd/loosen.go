@@ -1,0 +1,105 @@
+package dtd
+
+// Loosen returns the loosened version of the DTD, per Section 6.2 of the
+// paper: every element and attribute that the original DTD marks as
+// required becomes optional. Concretely:
+//
+//   - in every children content model, each particle with occurrence
+//     "exactly one" becomes "?" and each "+" becomes "*";
+//   - every #REQUIRED attribute becomes #IMPLIED;
+//   - EMPTY, ANY and mixed content are already as permissive as the
+//     transformation can make them and are kept unchanged, as are
+//     attribute types, enumerations, defaults and #FIXED values.
+//
+// A document view obtained by pruning (which only ever *removes*
+// elements and attributes) therefore always validates against the
+// loosened DTD, and a requester cannot tell whether an absent component
+// was pruned by security enforcement or simply missing in the original
+// document.
+func (d *DTD) Loosen() *DTD {
+	out := NewDTD()
+	out.Name = d.Name
+	for _, ref := range d.declOrder {
+		switch ref.kind {
+		case declElement:
+			e := d.Elements[ref.name]
+			le := &ElementDecl{Name: e.Name, Kind: e.Kind, Mixed: append([]string(nil), e.Mixed...)}
+			if e.Kind == ElementContent {
+				le.Model = loosenParticle(e.Model)
+			}
+			// Errors are impossible here: the source DTD cannot hold
+			// duplicate declarations.
+			_ = out.AddElement(le)
+		case declAttlist:
+			for _, a := range d.Attlists[ref.name] {
+				la := *a
+				la.Enum = append([]string(nil), a.Enum...)
+				if la.Default == RequiredDefault {
+					la.Default = ImpliedDefault
+					la.Value = ""
+				}
+				out.AddAttDef(&la)
+			}
+		case declEntity:
+			e := *d.Entities[ref.name]
+			out.AddEntity(&e)
+		case declPEntity:
+			e := *d.PEntities[ref.name]
+			out.AddEntity(&e)
+		case declNotation:
+			n := *d.Notations[ref.name]
+			_ = out.AddNotation(&n)
+		case declComment, declPI:
+			out.declOrder = append(out.declOrder, ref)
+		}
+	}
+	return out
+}
+
+// loosenParticle rewrites a particle tree making every component
+// optional: Once → Opt and Plus → Star, recursively.
+func loosenParticle(p *Particle) *Particle {
+	c := &Particle{Kind: p.Kind, Name: p.Name, Occ: p.Occ}
+	switch p.Occ {
+	case Once:
+		c.Occ = Opt
+	case Plus:
+		c.Occ = Star
+	}
+	for _, ch := range p.Children {
+		c.Children = append(c.Children, loosenParticle(ch))
+	}
+	return c
+}
+
+// IsLoose reports whether every particle occurrence in every content
+// model is optional (? or *) and no attribute is #REQUIRED — i.e., the
+// DTD is a fixed point of Loosen (up to #FIXED values, which Loosen
+// keeps).
+func (d *DTD) IsLoose() bool {
+	for _, e := range d.Elements {
+		if e.Kind == ElementContent && !particleLoose(e.Model) {
+			return false
+		}
+	}
+	for _, defs := range d.Attlists {
+		for _, a := range defs {
+			if a.Default == RequiredDefault {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func particleLoose(p *Particle) bool {
+	if p.Occ != Opt && p.Occ != Star {
+		return false
+	}
+	for _, c := range p.Children {
+		if !particleLoose(c) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package dtd_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xmlsec/internal/dtd"
+
+	"xmlsec/internal/dom"
+	"xmlsec/internal/xmlparse"
+)
+
+const loosenSrc = `
+<!ELEMENT catalog (vendor+, footer)>
+<!ATTLIST catalog year CDATA #REQUIRED>
+<!ELEMENT vendor (name, product*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT product (price, stock?)>
+<!ATTLIST product
+	sku   CDATA #REQUIRED
+	kind  (hw|sw) "hw"
+	brand CDATA #FIXED "acme">
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT stock EMPTY>
+<!ELEMENT footer EMPTY>
+`
+
+func TestLoosenOccurrences(t *testing.T) {
+	d := dtd.MustParse(loosenSrc)
+	l := d.Loosen()
+	// The outer '?' comes from loosening the group particle itself;
+	// it is redundant for matching but keeps IsLoose a simple local
+	// predicate.
+	cases := map[string]string{
+		"catalog": "(vendor*,footer?)?",
+		"vendor":  "(name?,product*)?",
+		"product": "(price?,stock?)?",
+	}
+	for name, want := range cases {
+		if got := l.Element(name).ContentString(); got != want {
+			t.Errorf("loosened %s = %s, want %s", name, got, want)
+		}
+	}
+	// EMPTY and PCDATA are untouched.
+	if l.Element("stock").Kind != dtd.EmptyContent || l.Element("price").Kind != dtd.MixedContent {
+		t.Error("EMPTY/PCDATA content changed by loosening")
+	}
+}
+
+func TestLoosenAttributes(t *testing.T) {
+	d := dtd.MustParse(loosenSrc)
+	l := d.Loosen()
+	if def := l.AttDef("catalog", "year"); def.Default != dtd.ImpliedDefault {
+		t.Errorf("#REQUIRED should become #IMPLIED, got %v", def.Default)
+	}
+	if def := l.AttDef("product", "sku"); def.Default != dtd.ImpliedDefault {
+		t.Errorf("#REQUIRED should become #IMPLIED, got %v", def.Default)
+	}
+	// Defaults, enums and #FIXED are preserved.
+	if def := l.AttDef("product", "kind"); def.Default != dtd.ValueDefault || def.Value != "hw" || len(def.Enum) != 2 {
+		t.Errorf("enumerated default changed: %+v", def)
+	}
+	if def := l.AttDef("product", "brand"); def.Default != dtd.FixedDefault || def.Value != "acme" {
+		t.Errorf("#FIXED changed: %+v", def)
+	}
+}
+
+func TestLoosenDoesNotMutateOriginal(t *testing.T) {
+	d := dtd.MustParse(loosenSrc)
+	before := d.String()
+	_ = d.Loosen()
+	if d.String() != before {
+		t.Error("Loosen mutated its receiver")
+	}
+}
+
+func TestIsLooseAndFixedPoint(t *testing.T) {
+	d := dtd.MustParse(loosenSrc)
+	if d.IsLoose() {
+		t.Error("original DTD should not be loose")
+	}
+	l := d.Loosen()
+	if !l.IsLoose() {
+		t.Errorf("loosened DTD should be loose:\n%s", l.String())
+	}
+	// Loosening is idempotent up to serialization.
+	if l.Loosen().String() != l.String() {
+		t.Error("Loosen is not a fixed point on loose DTDs")
+	}
+}
+
+func TestLoosenedValidatesOriginalInstances(t *testing.T) {
+	// Every document valid under the original is valid under the
+	// loosened DTD (loosening only relaxes).
+	doc := `<catalog year="2000">
+		<vendor><name>V</name><product sku="1" brand="acme"><price>9</price><stock/></product></vendor>
+		<footer/>
+	</catalog>`
+	res, err := xmlparse.Parse(doc, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dtd.MustParse(loosenSrc)
+	if errs := d.Validate(res.Doc, dtd.ValidateOptions{}); errs != nil {
+		t.Fatalf("setup: document should be valid: %v", errs)
+	}
+	if errs := d.Loosen().Validate(res.Doc, dtd.ValidateOptions{}); errs != nil {
+		t.Errorf("loosened DTD rejected an originally valid document: %v", errs)
+	}
+}
+
+// TestRandomPrunesValidateLoosened is the Section 6.2 property at the
+// DTD level: remove arbitrary elements/attributes from a valid
+// document and the result must validate against the loosened DTD.
+func TestRandomPrunesValidateLoosened(t *testing.T) {
+	doc := `<catalog year="2000">
+		<vendor><name>A</name>
+			<product sku="1" brand="acme"><price>9</price><stock/></product>
+			<product sku="2" kind="sw" brand="acme"><price>5</price></product>
+		</vendor>
+		<vendor><name>B</name></vendor>
+		<footer/>
+	</catalog>`
+	d := dtd.MustParse(loosenSrc)
+	loose := d.Loosen()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		res, err := xmlparse.Parse(doc, xmlparse.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs := d.Validate(res.Doc, dtd.ValidateOptions{}); errs != nil {
+			t.Fatal(errs)
+		}
+		randomPrune(rng, res.Doc.DocumentElement())
+		if res.Doc.DocumentElement() == nil {
+			continue
+		}
+		if errs := loose.Validate(res.Doc, dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
+			t.Fatalf("trial %d: pruned document rejected by loosened DTD: %v\n%s",
+				trial, errs, res.Doc.String())
+		}
+	}
+}
+
+// randomPrune removes each element/attribute with probability ~1/3,
+// mimicking the transformation step's effect on the tree.
+func randomPrune(rng *rand.Rand, n *dom.Node) {
+	var attrs []*dom.Node
+	for _, a := range n.Attrs {
+		if rng.Intn(3) != 0 {
+			attrs = append(attrs, a)
+		}
+	}
+	n.Attrs = attrs
+	var kept []*dom.Node
+	for _, c := range n.Children {
+		if c.Type == dom.ElementNode {
+			if rng.Intn(3) == 0 {
+				c.Parent = nil
+				continue
+			}
+			randomPrune(rng, c)
+		}
+		kept = append(kept, c)
+	}
+	n.Children = kept
+}
+
+func TestLoosenPreservesEntitiesAndNotations(t *testing.T) {
+	d := dtd.MustParse(`
+		<!ELEMENT a EMPTY>
+		<!ENTITY e "v">
+		<!ENTITY % p "w">
+		<!NOTATION n SYSTEM "s">
+	`)
+	l := d.Loosen()
+	if l.Entities["e"] == nil || l.PEntities["p"] == nil || l.Notations["n"] == nil {
+		t.Error("loosening dropped entities or notations")
+	}
+	if !strings.Contains(l.String(), `<!ENTITY e "v">`) {
+		t.Errorf("entity serialization lost: %s", l.String())
+	}
+}

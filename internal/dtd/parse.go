@@ -1,0 +1,870 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseError describes a syntax error in a DTD subset.
+type ParseError struct {
+	Offset int    // byte offset in the (expanded) subset text
+	Msg    string // description of the problem
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dtd: offset %d: %s", e.Offset, e.Msg)
+}
+
+// Parse parses a DTD subset (the text between '[' and ']' of a DOCTYPE,
+// or the content of an external DTD file) into a fresh DTD.
+func Parse(subset string) (*DTD, error) {
+	d := NewDTD()
+	if err := d.ParseSubset(subset); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustParse is like Parse but panics on error; intended for tests and
+// for embedding known-good DTDs.
+func MustParse(subset string) *DTD {
+	d, err := Parse(subset)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseSubset parses additional declarations into d. Calling it first
+// with an internal subset and then with the external subset implements
+// XML 1.0 precedence, because first declarations are binding.
+func (d *DTD) ParseSubset(subset string) error {
+	p := &subsetParser{src: subset, dtd: d}
+	return p.run()
+}
+
+type subsetParser struct {
+	src string
+	pos int
+	dtd *DTD
+	// peDepth bounds parameter-entity splicing to reject recursion.
+	peDepth int
+}
+
+func (p *subsetParser) errf(format string, args ...any) error {
+	return &ParseError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *subsetParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *subsetParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *subsetParser) hasPrefix(s string) bool {
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *subsetParser) skipWS() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// expect consumes the literal s or fails.
+func (p *subsetParser) expect(s string) error {
+	if !p.hasPrefix(s) {
+		return p.errf("expected %q", s)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+// splicePE replaces a %name; reference at the current position with the
+// entity's replacement text padded by spaces, as XML 1.0 prescribes for
+// references outside entity values.
+func (p *subsetParser) splicePE() error {
+	start := p.pos
+	p.pos++ // '%'
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	ent := p.dtd.PEntities[name]
+	if ent == nil {
+		return &ParseError{Offset: start, Msg: fmt.Sprintf("undeclared parameter entity %%%s;", name)}
+	}
+	if !ent.IsInternal() {
+		// External parameter entities are not fetched; skip the
+		// reference. The paper's model concerns logical structure only.
+		p.src = p.src[:start] + p.src[p.pos:]
+		p.pos = start
+		return nil
+	}
+	if p.peDepth > 32 {
+		return &ParseError{Offset: start, Msg: "parameter entity nesting too deep (recursion?)"}
+	}
+	p.peDepth++
+	p.src = p.src[:start] + " " + ent.Value + " " + p.src[p.pos:]
+	p.pos = start
+	return nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}
+
+func isNameRune(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}
+
+// IsName reports whether s is a valid XML Name.
+func IsName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 {
+			if !isNameStart(r) {
+				return false
+			}
+		} else if !isNameRune(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNmtoken reports whether s is a valid XML Nmtoken.
+func IsNmtoken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !isNameRune(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *subsetParser) name() (string, error) {
+	start := p.pos
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	if size == 0 || !isNameStart(r) {
+		return "", p.errf("expected name")
+	}
+	p.pos += size
+	for !p.eof() {
+		r, size = utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isNameRune(r) {
+			break
+		}
+		p.pos += size
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *subsetParser) nmtoken() (string, error) {
+	start := p.pos
+	for !p.eof() {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isNameRune(r) {
+			break
+		}
+		p.pos += size
+	}
+	if p.pos == start {
+		return "", p.errf("expected name token")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// quoted reads a quoted literal ('...' or "...") and returns its raw
+// content (no reference expansion).
+func (p *subsetParser) quoted() (string, error) {
+	q := p.peek()
+	if q != '\'' && q != '"' {
+		return "", p.errf("expected quoted literal")
+	}
+	p.pos++
+	start := p.pos
+	i := strings.IndexByte(p.src[p.pos:], q)
+	if i < 0 {
+		return "", p.errf("unterminated literal")
+	}
+	p.pos += i + 1
+	return p.src[start : start+i], nil
+}
+
+func (p *subsetParser) run() error {
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil
+		}
+		switch {
+		case p.peek() == '%':
+			if err := p.splicePE(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!--"):
+			if err := p.comment(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<?"):
+			if err := p.procInst(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!["):
+			if err := p.condSection(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!ELEMENT"):
+			if err := p.elementDecl(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!ATTLIST"):
+			if err := p.attlistDecl(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!ENTITY"):
+			if err := p.entityDecl(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!NOTATION"):
+			if err := p.notationDecl(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected content %q", snippet(p.src[p.pos:]))
+		}
+	}
+}
+
+func snippet(s string) string {
+	if len(s) > 20 {
+		return s[:20] + "..."
+	}
+	return s
+}
+
+func (p *subsetParser) comment() error {
+	end := strings.Index(p.src[p.pos+4:], "-->")
+	if end < 0 {
+		return p.errf("unterminated comment")
+	}
+	body := p.src[p.pos+4 : p.pos+4+end]
+	if strings.Contains(body, "--") || strings.HasSuffix(body, "-") {
+		return p.errf("comment text must not contain '--' or end with '-'")
+	}
+	p.dtd.declOrder = append(p.dtd.declOrder, declRef{kind: declComment, name: body})
+	p.pos += 4 + end + 3
+	return nil
+}
+
+func (p *subsetParser) procInst() error {
+	end := strings.Index(p.src[p.pos+2:], "?>")
+	if end < 0 {
+		return p.errf("unterminated processing instruction")
+	}
+	body := p.src[p.pos+2 : p.pos+2+end]
+	target, data, _ := strings.Cut(body, " ")
+	p.dtd.declOrder = append(p.dtd.declOrder, declRef{kind: declPI, name: target, data: strings.TrimSpace(data)})
+	p.pos += 2 + end + 2
+	return nil
+}
+
+// condSection handles <![INCLUDE[ ... ]]> and <![IGNORE[ ... ]]>
+// (external-subset-only constructs, XML 1.0 §3.4).
+func (p *subsetParser) condSection() error {
+	p.pos += 3 // "<!["
+	p.skipWS()
+	if p.peek() == '%' {
+		if err := p.splicePE(); err != nil {
+			return err
+		}
+		p.skipWS()
+	}
+	var include bool
+	switch {
+	case p.hasPrefix("INCLUDE"):
+		include = true
+		p.pos += len("INCLUDE")
+	case p.hasPrefix("IGNORE"):
+		p.pos += len("IGNORE")
+	default:
+		return p.errf("expected INCLUDE or IGNORE")
+	}
+	p.skipWS()
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	// Find the matching "]]>", accounting for nested sections.
+	depth := 1
+	start := p.pos
+	for p.pos < len(p.src) {
+		switch {
+		case p.hasPrefix("<!["):
+			depth++
+			p.pos += 3
+		case p.hasPrefix("]]>"):
+			depth--
+			if depth == 0 {
+				body := p.src[start:p.pos]
+				p.pos += 3
+				if include {
+					sub := &subsetParser{src: body, dtd: p.dtd}
+					if err := sub.run(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			p.pos += 3
+		default:
+			p.pos++
+		}
+	}
+	return p.errf("unterminated conditional section")
+}
+
+func (p *subsetParser) declWS() error {
+	if !p.eof() && p.peek() == '%' {
+		// Parameter entities may appear inside declarations in external
+		// subsets; splice and continue.
+		return p.splicePE()
+	}
+	c := p.peek()
+	if c != ' ' && c != '\t' && c != '\r' && c != '\n' {
+		return p.errf("expected whitespace")
+	}
+	p.skipWS()
+	return nil
+}
+
+// maybePE splices a parameter-entity reference if one starts here.
+func (p *subsetParser) maybePE() error {
+	for !p.eof() && p.peek() == '%' {
+		if err := p.splicePE(); err != nil {
+			return err
+		}
+		p.skipWS()
+	}
+	return nil
+}
+
+func (p *subsetParser) elementDecl() error {
+	p.pos += len("<!ELEMENT")
+	if err := p.declWS(); err != nil {
+		return err
+	}
+	if err := p.maybePE(); err != nil {
+		return err
+	}
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	if err := p.declWS(); err != nil {
+		return err
+	}
+	if err := p.maybePE(); err != nil {
+		return err
+	}
+	decl := &ElementDecl{Name: name}
+	switch {
+	case p.hasPrefix("EMPTY"):
+		decl.Kind = EmptyContent
+		p.pos += len("EMPTY")
+	case p.hasPrefix("ANY"):
+		decl.Kind = AnyContent
+		p.pos += len("ANY")
+	case p.peek() == '(':
+		if err := p.contentSpec(decl); err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected content specification for element %q", name)
+	}
+	p.skipWS()
+	if err := p.expect(">"); err != nil {
+		return err
+	}
+	return p.dtd.AddElement(decl)
+}
+
+// contentSpec parses a parenthesized content spec: mixed or children.
+func (p *subsetParser) contentSpec(decl *ElementDecl) error {
+	save := p.pos
+	p.pos++ // '('
+	p.skipWS()
+	if p.hasPrefix("#PCDATA") {
+		p.pos += len("#PCDATA")
+		decl.Kind = MixedContent
+		for {
+			p.skipWS()
+			switch {
+			case p.peek() == '|':
+				p.pos++
+				p.skipWS()
+				if err := p.maybePE(); err != nil {
+					return err
+				}
+				n, err := p.name()
+				if err != nil {
+					return err
+				}
+				decl.Mixed = append(decl.Mixed, n)
+			case p.hasPrefix(")*"):
+				p.pos += 2
+				return nil
+			case p.peek() == ')':
+				if len(decl.Mixed) > 0 {
+					return p.errf("mixed content with elements must end in ')*'")
+				}
+				p.pos++
+				// (#PCDATA)* is also legal with no elements.
+				if p.peek() == '*' {
+					p.pos++
+				}
+				return nil
+			default:
+				return p.errf("malformed mixed content model")
+			}
+		}
+	}
+	p.pos = save
+	decl.Kind = ElementContent
+	m, err := p.particle()
+	if err != nil {
+		return err
+	}
+	decl.Model = m
+	return nil
+}
+
+// particle parses a content particle: a name or a parenthesized group,
+// followed by an optional occurrence indicator.
+func (p *subsetParser) particle() (*Particle, error) {
+	if err := p.maybePE(); err != nil {
+		return nil, err
+	}
+	var part *Particle
+	if p.peek() == '(' {
+		p.pos++
+		p.skipWS()
+		first, err := p.particle()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		group := &Particle{Children: []*Particle{first}}
+		var sep byte
+		for p.peek() == ',' || p.peek() == '|' {
+			if sep == 0 {
+				sep = p.peek()
+			} else if p.peek() != sep {
+				return nil, p.errf("cannot mix ',' and '|' in one group")
+			}
+			p.pos++
+			p.skipWS()
+			next, err := p.particle()
+			if err != nil {
+				return nil, err
+			}
+			group.Children = append(group.Children, next)
+			p.skipWS()
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if sep == '|' {
+			group.Kind = ChoiceParticle
+		} else {
+			group.Kind = SeqParticle
+		}
+		if len(group.Children) == 1 && group.Children[0].Occ == Once {
+			// Collapse single-child groups: (a)? is a?, keeping the
+			// model canonical and the automaton small.
+			part = group.Children[0]
+		} else {
+			part = group
+		}
+	} else {
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		part = &Particle{Kind: NameParticle, Name: n}
+	}
+	switch p.peek() {
+	case '?', '*', '+':
+		part.Occ = Occurrence(p.peek())
+		p.pos++
+	}
+	return part, nil
+}
+
+func (p *subsetParser) attlistDecl() error {
+	p.pos += len("<!ATTLIST")
+	if err := p.declWS(); err != nil {
+		return err
+	}
+	if err := p.maybePE(); err != nil {
+		return err
+	}
+	elem, err := p.name()
+	if err != nil {
+		return err
+	}
+	for {
+		p.skipWS()
+		if err := p.maybePE(); err != nil {
+			return err
+		}
+		if p.peek() == '>' {
+			p.pos++
+			return nil
+		}
+		att := &AttDef{Element: elem}
+		att.Name, err = p.name()
+		if err != nil {
+			return err
+		}
+		if err := p.declWS(); err != nil {
+			return err
+		}
+		if err := p.maybePE(); err != nil {
+			return err
+		}
+		if err := p.attType(att); err != nil {
+			return err
+		}
+		if err := p.declWS(); err != nil {
+			return err
+		}
+		if err := p.maybePE(); err != nil {
+			return err
+		}
+		if err := p.attDefault(att); err != nil {
+			return err
+		}
+		p.dtd.AddAttDef(att)
+	}
+}
+
+func (p *subsetParser) attType(att *AttDef) error {
+	keywords := []struct {
+		kw string
+		t  AttType
+	}{
+		// Longest-match order matters: IDREFS before IDREF before ID,
+		// NMTOKENS before NMTOKEN, ENTITIES before ENTITY.
+		{"CDATA", CDATAType},
+		{"IDREFS", IDREFSType},
+		{"IDREF", IDREFType},
+		{"ID", IDType},
+		{"ENTITIES", EntitiesType},
+		{"ENTITY", EntityType},
+		{"NMTOKENS", NMTokensType},
+		{"NMTOKEN", NMTokenType},
+	}
+	for _, k := range keywords {
+		if p.hasPrefix(k.kw) {
+			p.pos += len(k.kw)
+			att.Type = k.t
+			return nil
+		}
+	}
+	if p.hasPrefix("NOTATION") {
+		p.pos += len("NOTATION")
+		att.Type = NotationType
+		p.skipWS()
+		return p.enumeration(att, true)
+	}
+	if p.peek() == '(' {
+		att.Type = EnumType
+		return p.enumeration(att, false)
+	}
+	return p.errf("expected attribute type for %q", att.Name)
+}
+
+func (p *subsetParser) enumeration(att *AttDef, names bool) error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for {
+		p.skipWS()
+		var tok string
+		var err error
+		if names {
+			tok, err = p.name()
+		} else {
+			tok, err = p.nmtoken()
+		}
+		if err != nil {
+			return err
+		}
+		att.Enum = append(att.Enum, tok)
+		p.skipWS()
+		switch p.peek() {
+		case '|':
+			p.pos++
+		case ')':
+			p.pos++
+			return nil
+		default:
+			return p.errf("expected '|' or ')' in enumeration")
+		}
+	}
+}
+
+func (p *subsetParser) attDefault(att *AttDef) error {
+	switch {
+	case p.hasPrefix("#REQUIRED"):
+		att.Default = RequiredDefault
+		p.pos += len("#REQUIRED")
+	case p.hasPrefix("#IMPLIED"):
+		att.Default = ImpliedDefault
+		p.pos += len("#IMPLIED")
+	case p.hasPrefix("#FIXED"):
+		att.Default = FixedDefault
+		p.pos += len("#FIXED")
+		if err := p.declWS(); err != nil {
+			return err
+		}
+		v, err := p.quoted()
+		if err != nil {
+			return err
+		}
+		att.Value = normalizeEntityValue(v)
+	default:
+		att.Default = ValueDefault
+		v, err := p.quoted()
+		if err != nil {
+			return err
+		}
+		att.Value = normalizeEntityValue(v)
+	}
+	return nil
+}
+
+// normalizeEntityValue expands character references in a default value.
+// General entity references are left intact (they would require the full
+// document entity context to expand).
+func normalizeEntityValue(s string) string {
+	if !strings.Contains(s, "&#") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '&' && i+1 < len(s) && s[i+1] == '#' {
+			if r, n, ok := DecodeCharRef(s[i:]); ok {
+				b.WriteRune(r)
+				i += n
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+// DecodeCharRef decodes a character reference (&#ddd; or &#xhhh;) at the
+// start of s, returning the rune, the number of bytes consumed, and
+// whether the reference was well-formed.
+func DecodeCharRef(s string) (rune, int, bool) {
+	if !strings.HasPrefix(s, "&#") {
+		return 0, 0, false
+	}
+	end := strings.IndexByte(s, ';')
+	if end < 0 {
+		return 0, 0, false
+	}
+	body := s[2:end]
+	base := 10
+	if strings.HasPrefix(body, "x") || strings.HasPrefix(body, "X") {
+		base = 16
+		body = body[1:]
+	}
+	if body == "" {
+		return 0, 0, false
+	}
+	var v int64
+	for _, c := range body {
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, 0, false
+		}
+		v = v*int64(base) + d
+		if v > 0x10FFFF {
+			return 0, 0, false
+		}
+	}
+	r := rune(v)
+	if !isXMLChar(r) {
+		return 0, 0, false
+	}
+	return r, end + 1, true
+}
+
+// isXMLChar reports whether r is a legal XML 1.0 character.
+func isXMLChar(r rune) bool {
+	return r == 0x9 || r == 0xA || r == 0xD ||
+		(r >= 0x20 && r <= 0xD7FF) ||
+		(r >= 0xE000 && r <= 0xFFFD) ||
+		(r >= 0x10000 && r <= 0x10FFFF)
+}
+
+func (p *subsetParser) entityDecl() error {
+	p.pos += len("<!ENTITY")
+	if err := p.declWS(); err != nil {
+		return err
+	}
+	ent := &EntityDecl{}
+	if p.peek() == '%' {
+		p.pos++
+		ent.Kind = ParameterEntity
+		if err := p.declWS(); err != nil {
+			return err
+		}
+	}
+	var err error
+	ent.Name, err = p.name()
+	if err != nil {
+		return err
+	}
+	if err := p.declWS(); err != nil {
+		return err
+	}
+	switch {
+	case p.peek() == '\'' || p.peek() == '"':
+		v, err := p.quoted()
+		if err != nil {
+			return err
+		}
+		ent.Value = normalizeEntityValue(v)
+	case p.hasPrefix("SYSTEM"):
+		p.pos += len("SYSTEM")
+		if err := p.declWS(); err != nil {
+			return err
+		}
+		ent.SystemID, err = p.quoted()
+		if err != nil {
+			return err
+		}
+	case p.hasPrefix("PUBLIC"):
+		p.pos += len("PUBLIC")
+		if err := p.declWS(); err != nil {
+			return err
+		}
+		ent.PublicID, err = p.quoted()
+		if err != nil {
+			return err
+		}
+		if err := p.declWS(); err != nil {
+			return err
+		}
+		ent.SystemID, err = p.quoted()
+		if err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected entity value or external identifier")
+	}
+	p.skipWS()
+	if p.hasPrefix("NDATA") {
+		if ent.Kind == ParameterEntity {
+			return p.errf("parameter entities cannot be unparsed")
+		}
+		if ent.SystemID == "" {
+			return p.errf("NDATA requires an external identifier")
+		}
+		p.pos += len("NDATA")
+		if err := p.declWS(); err != nil {
+			return err
+		}
+		ent.NDataName, err = p.name()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+	}
+	if err := p.expect(">"); err != nil {
+		return err
+	}
+	p.dtd.AddEntity(ent)
+	return nil
+}
+
+func (p *subsetParser) notationDecl() error {
+	p.pos += len("<!NOTATION")
+	if err := p.declWS(); err != nil {
+		return err
+	}
+	not := &NotationDecl{}
+	var err error
+	not.Name, err = p.name()
+	if err != nil {
+		return err
+	}
+	if err := p.declWS(); err != nil {
+		return err
+	}
+	switch {
+	case p.hasPrefix("SYSTEM"):
+		p.pos += len("SYSTEM")
+		if err := p.declWS(); err != nil {
+			return err
+		}
+		not.SystemID, err = p.quoted()
+		if err != nil {
+			return err
+		}
+	case p.hasPrefix("PUBLIC"):
+		p.pos += len("PUBLIC")
+		if err := p.declWS(); err != nil {
+			return err
+		}
+		not.PublicID, err = p.quoted()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		if p.peek() == '\'' || p.peek() == '"' {
+			not.SystemID, err = p.quoted()
+			if err != nil {
+				return err
+			}
+		}
+	default:
+		return p.errf("expected external identifier in notation")
+	}
+	p.skipWS()
+	if err := p.expect(">"); err != nil {
+		return err
+	}
+	return p.dtd.AddNotation(not)
+}

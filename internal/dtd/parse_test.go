@@ -1,0 +1,304 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseElementDecls(t *testing.T) {
+	d, err := Parse(`
+		<!ELEMENT a (b, c?, (d | e)*)>
+		<!ELEMENT b EMPTY>
+		<!ELEMENT c ANY>
+		<!ELEMENT d (#PCDATA)>
+		<!ELEMENT e (#PCDATA | b)*>
+		<!ELEMENT f (b+)>
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]struct {
+		kind    ContentKind
+		content string
+	}{
+		"a": {ElementContent, "(b,c?,(d|e)*)"},
+		"b": {EmptyContent, "EMPTY"},
+		"c": {AnyContent, "ANY"},
+		"d": {MixedContent, "(#PCDATA)"},
+		"e": {MixedContent, "(#PCDATA|b)*"},
+		"f": {ElementContent, "(b+)"},
+	}
+	for name, want := range cases {
+		e := d.Element(name)
+		if e == nil {
+			t.Fatalf("element %q not declared", name)
+		}
+		if e.Kind != want.kind {
+			t.Errorf("%s kind = %v, want %v", name, e.Kind, want.kind)
+		}
+		if got := e.ContentString(); got != want.content {
+			t.Errorf("%s content = %s, want %s", name, got, want.content)
+		}
+	}
+}
+
+func TestParseAttlist(t *testing.T) {
+	d, err := Parse(`
+		<!ELEMENT a EMPTY>
+		<!ATTLIST a
+			id    ID       #REQUIRED
+			ref   IDREF    #IMPLIED
+			refs  IDREFS   #IMPLIED
+			tok   NMTOKEN  #IMPLIED
+			toks  NMTOKENS #IMPLIED
+			kind  (x|y|z)  "x"
+			fix   CDATA    #FIXED "42"
+			note  NOTATION (n1|n2) #IMPLIED
+			ent   ENTITY   #IMPLIED
+			ents  ENTITIES #IMPLIED>
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]AttType{
+		"id": IDType, "ref": IDREFType, "refs": IDREFSType,
+		"tok": NMTokenType, "toks": NMTokensType,
+		"kind": EnumType, "fix": CDATAType, "note": NotationType,
+		"ent": EntityType, "ents": EntitiesType,
+	}
+	for name, ty := range types {
+		def := d.AttDef("a", name)
+		if def == nil {
+			t.Fatalf("attribute %q missing", name)
+		}
+		if def.Type != ty {
+			t.Errorf("%s type = %v, want %v", name, def.Type, ty)
+		}
+	}
+	if def := d.AttDef("a", "kind"); def.Default != ValueDefault || def.Value != "x" || len(def.Enum) != 3 {
+		t.Errorf("kind default wrong: %+v", def)
+	}
+	if def := d.AttDef("a", "fix"); def.Default != FixedDefault || def.Value != "42" {
+		t.Errorf("fix wrong: %+v", def)
+	}
+	if def := d.AttDef("a", "id"); def.Default != RequiredDefault {
+		t.Errorf("id should be required: %+v", def)
+	}
+}
+
+func TestFirstAttlistDefinitionBinding(t *testing.T) {
+	d, err := Parse(`
+		<!ELEMENT a EMPTY>
+		<!ATTLIST a x CDATA "first">
+		<!ATTLIST a x CDATA "second" y CDATA #IMPLIED>
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def := d.AttDef("a", "x"); def.Value != "first" {
+		t.Errorf("first definition should bind, got %q", def.Value)
+	}
+	if d.AttDef("a", "y") == nil {
+		t.Error("later new attributes still collected")
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	d, err := Parse(`
+		<!ENTITY plain "text">
+		<!ENTITY ext SYSTEM "chapter1.xml">
+		<!ENTITY pic PUBLIC "-//P//ID" "logo.gif" NDATA gif>
+		<!ENTITY % param "internal pe">
+		<!NOTATION gif SYSTEM "viewer">
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := d.Entities["plain"]; e == nil || !e.IsInternal() || e.Value != "text" {
+		t.Errorf("plain entity wrong: %+v", e)
+	}
+	if e := d.Entities["ext"]; e == nil || e.IsInternal() || e.SystemID != "chapter1.xml" {
+		t.Errorf("ext entity wrong: %+v", e)
+	}
+	if e := d.Entities["pic"]; e == nil || e.NDataName != "gif" || e.PublicID != "-//P//ID" {
+		t.Errorf("unparsed entity wrong: %+v", e)
+	}
+	if e := d.PEntities["param"]; e == nil || e.Value != "internal pe" {
+		t.Errorf("parameter entity wrong: %+v", e)
+	}
+	if n := d.Notations["gif"]; n == nil || n.SystemID != "viewer" {
+		t.Errorf("notation wrong: %+v", n)
+	}
+}
+
+func TestParameterEntityExpansion(t *testing.T) {
+	d, err := Parse(`
+		<!ENTITY % content "(#PCDATA)">
+		<!ELEMENT a %content;>
+		<!ENTITY % decls "<!ELEMENT b EMPTY><!ELEMENT c EMPTY>">
+		%decls;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := d.Element("a"); e == nil || e.Kind != MixedContent {
+		t.Errorf("PE in declaration not expanded: %+v", e)
+	}
+	if d.Element("b") == nil || d.Element("c") == nil {
+		t.Error("PE between declarations not expanded")
+	}
+}
+
+func TestParameterEntityRecursionRejected(t *testing.T) {
+	_, err := Parse(`
+		<!ENTITY % a "%b;">
+		<!ENTITY % b "%a;">
+		%a;
+	`)
+	if err == nil {
+		t.Error("recursive parameter entities should be rejected")
+	}
+}
+
+func TestConditionalSections(t *testing.T) {
+	d, err := Parse(`
+		<![INCLUDE[<!ELEMENT a EMPTY>]]>
+		<![IGNORE[<!ELEMENT b EMPTY>]]>
+		<!ENTITY % use "INCLUDE">
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Element("a") == nil {
+		t.Error("INCLUDE section skipped")
+	}
+	if d.Element("b") != nil {
+		t.Error("IGNORE section parsed")
+	}
+}
+
+func TestCommentsAndPIsInSubset(t *testing.T) {
+	d, err := Parse(`
+		<!-- about a -->
+		<!ELEMENT a EMPTY>
+		<?keep this?>
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.String()
+	if !strings.Contains(s, "<!-- about a -->") || !strings.Contains(s, "<?keep this?>") {
+		t.Errorf("comments/PIs lost in round trip: %s", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<!ELEMENT a EMPTY> <!ELEMENT a EMPTY>`,            // duplicate element
+		`<!ELEMENT a (b,|c)>`,                              // bad particle
+		`<!ELEMENT a (b|c,d)>`,                             // mixed separators
+		`<!ELEMENT a>`,                                     // missing content spec
+		`<!ELEMENT a (#PCDATA|b)>`,                         // mixed must end )* with names
+		`<!ATTLIST a x BOGUS #IMPLIED>`,                    // bad type
+		`<!ATTLIST a x CDATA>`,                             // missing default
+		`<!ENTITY x>`,                                      // missing value
+		`<!ENTITY % p SYSTEM "u" NDATA n>`,                 // PE cannot be unparsed
+		`<!NOTATION n>`,                                    // missing external id
+		`<!NOTATION n SYSTEM "a"><!NOTATION n SYSTEM "b">`, // duplicate
+		`%nope;`,                        // undefined PE
+		`<!ELEMENT a (b`,                // unterminated
+		`garbage`,                       // not a declaration
+		`<![INCLUDE[<!ELEMENT a EMPTY>`, // unterminated section
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCharRefDecoding(t *testing.T) {
+	cases := []struct {
+		in string
+		r  rune
+		n  int
+		ok bool
+	}{
+		{"&#65;", 'A', 5, true},
+		{"&#x41;", 'A', 6, true},
+		{"&#xE9;x", 'é', 6, true},
+		{"&#;", 0, 0, false},
+		{"&#x;", 0, 0, false},
+		{"&#xZZ;", 0, 0, false},
+		{"&#1114112;", 0, 0, false}, // beyond Unicode
+		{"&#0;", 0, 0, false},       // NUL not an XML char
+		{"plain", 0, 0, false},
+	}
+	for _, c := range cases {
+		r, n, ok := DecodeCharRef(c.in)
+		if ok != c.ok || (ok && (r != c.r || n != c.n)) {
+			t.Errorf("DecodeCharRef(%q) = %q,%d,%v; want %q,%d,%v", c.in, r, n, ok, c.r, c.n, c.ok)
+		}
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	for _, good := range []string{"a", "_x", "a-b.c", "él", "a1"} {
+		if !IsName(good) {
+			t.Errorf("IsName(%q) should be true", good)
+		}
+	}
+	for _, bad := range []string{"", "1a", "-a", "a b", ".x"} {
+		if IsName(bad) {
+			t.Errorf("IsName(%q) should be false", bad)
+		}
+	}
+	if !IsNmtoken("1a-b") || IsNmtoken("") || IsNmtoken("a b") {
+		t.Error("IsNmtoken wrong")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	src := `<!ELEMENT a (b,c?)>
+<!ATTLIST a
+	x CDATA #REQUIRED
+	k (u|v) "u">
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c EMPTY>
+<!ENTITY e "text">
+<!NOTATION n SYSTEM "sys">
+`
+	d1 := MustParse(src)
+	out := d1.String()
+	d2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parsing serialized DTD: %v\n%s", err, out)
+	}
+	if d2.String() != out {
+		t.Errorf("serialization not a fixed point:\n%s\nvs\n%s", out, d2.String())
+	}
+}
+
+func TestWhitespaceTolerantContentModels(t *testing.T) {
+	d, err := Parse(`<!ELEMENT a ( b , ( c | d )* , e? )>
+<!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY><!ELEMENT e EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Element("a").ContentString(); got != "(b,(c|d)*,e?)" {
+		t.Errorf("content = %s", got)
+	}
+	if !d.AcceptsSequence("a", []string{"b", "c", "d", "e"}) {
+		t.Error("model should accept b,c,d,e")
+	}
+}
+
+func TestNestedParenCollapse(t *testing.T) {
+	d, err := Parse(`<!ELEMENT a (((b)))><!ELEMENT b EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.AcceptsSequence("a", []string{"b"}) || d.AcceptsSequence("a", nil) {
+		t.Error("collapsed nested groups misbehave")
+	}
+}

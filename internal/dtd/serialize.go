@@ -1,0 +1,173 @@
+package dtd
+
+import (
+	"io"
+	"strings"
+)
+
+// Write serializes the DTD as a subset (a sequence of markup
+// declarations), preserving declaration order. The output is suitable
+// both as an external DTD file and as a DOCTYPE internal subset.
+func (d *DTD) Write(w io.Writer) error {
+	ew := &errWriter{w: w}
+	for _, ref := range d.declOrder {
+		switch ref.kind {
+		case declElement:
+			e := d.Elements[ref.name]
+			ew.str("<!ELEMENT ")
+			ew.str(e.Name)
+			ew.str(" ")
+			ew.str(e.ContentString())
+			ew.str(">\n")
+		case declAttlist:
+			defs := d.Attlists[ref.name]
+			ew.str("<!ATTLIST ")
+			ew.str(ref.name)
+			for _, a := range defs {
+				ew.str("\n\t")
+				ew.str(a.Name)
+				ew.str(" ")
+				writeAttType(ew, a)
+				ew.str(" ")
+				writeAttDefault(ew, a)
+			}
+			ew.str(">\n")
+		case declEntity:
+			writeEntity(ew, d.Entities[ref.name], false)
+		case declPEntity:
+			writeEntity(ew, d.PEntities[ref.name], true)
+		case declNotation:
+			n := d.Notations[ref.name]
+			ew.str("<!NOTATION ")
+			ew.str(n.Name)
+			switch {
+			case n.PublicID != "" && n.SystemID != "":
+				ew.str(` PUBLIC "`)
+				ew.str(n.PublicID)
+				ew.str(`" "`)
+				ew.str(n.SystemID)
+				ew.str(`"`)
+			case n.PublicID != "":
+				ew.str(` PUBLIC "`)
+				ew.str(n.PublicID)
+				ew.str(`"`)
+			default:
+				ew.str(` SYSTEM "`)
+				ew.str(n.SystemID)
+				ew.str(`"`)
+			}
+			ew.str(">\n")
+		case declComment:
+			ew.str("<!--")
+			ew.str(ref.name)
+			ew.str("-->\n")
+		case declPI:
+			ew.str("<?")
+			ew.str(ref.name)
+			if ref.data != "" {
+				ew.str(" ")
+				ew.str(ref.data)
+			}
+			ew.str("?>\n")
+		}
+	}
+	return ew.err
+}
+
+// String returns the serialized DTD subset.
+func (d *DTD) String() string {
+	var b strings.Builder
+	_ = d.Write(&b)
+	return b.String()
+}
+
+func writeAttType(w *errWriter, a *AttDef) {
+	switch a.Type {
+	case EnumType:
+		w.str("(")
+		w.str(strings.Join(a.Enum, "|"))
+		w.str(")")
+	case NotationType:
+		w.str("NOTATION (")
+		w.str(strings.Join(a.Enum, "|"))
+		w.str(")")
+	default:
+		w.str(a.Type.String())
+	}
+}
+
+func writeAttDefault(w *errWriter, a *AttDef) {
+	switch a.Default {
+	case RequiredDefault:
+		w.str("#REQUIRED")
+	case ImpliedDefault:
+		w.str("#IMPLIED")
+	case FixedDefault:
+		w.str(`#FIXED "`)
+		w.str(escapeLiteral(a.Value))
+		w.str(`"`)
+	case ValueDefault:
+		w.str(`"`)
+		w.str(escapeLiteral(a.Value))
+		w.str(`"`)
+	}
+}
+
+func writeEntity(w *errWriter, e *EntityDecl, param bool) {
+	w.str("<!ENTITY ")
+	if param {
+		w.str("% ")
+	}
+	w.str(e.Name)
+	switch {
+	case e.IsInternal():
+		w.str(` "`)
+		w.str(escapeLiteral(e.Value))
+		w.str(`"`)
+	case e.PublicID != "":
+		w.str(` PUBLIC "`)
+		w.str(e.PublicID)
+		w.str(`" "`)
+		w.str(e.SystemID)
+		w.str(`"`)
+	default:
+		w.str(` SYSTEM "`)
+		w.str(e.SystemID)
+		w.str(`"`)
+	}
+	if e.NDataName != "" {
+		w.str(" NDATA ")
+		w.str(e.NDataName)
+	}
+	w.str(">\n")
+}
+
+// escapeLiteral escapes a value for inclusion in a double-quoted
+// declaration literal.
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString("&quot;")
+		case '&':
+			b.WriteString("&amp;")
+		case '%':
+			b.WriteString("&#37;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) str(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}

@@ -1,0 +1,123 @@
+// Package labexample reconstructs the paper's running example: the
+// laboratory DTD of Figure 1(a), the CSlab document of Figure 3(a), the
+// four access authorizations of Example 1, and the subject population of
+// Example 2 (user Tom, member of group Foreign, connecting from
+// infosys.bld1.it at 130.100.50.8).
+//
+// The original figures are drawings; their XML text is reconstructed
+// from every constraint the prose states: element names (laboratory,
+// project, manager, flname, paper, fund), the attributes used by the
+// paper's path expressions (project@name, project@type with values
+// internal/public, paper@category with values private/public), and the
+// paths /laboratory/project, /laboratory//flname, fund/ancestor::project,
+// project/manager. EXPERIMENTS.md documents the reconstruction.
+package labexample
+
+import (
+	"xmlsec/internal/authz"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/dtd"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+// DTDURI is the URI of the laboratory DTD, as in Example 1 (relative to
+// the base URI http://www.lab.com/).
+const DTDURI = "laboratory.xml"
+
+// DocURI is the URI of the CSlab document.
+const DocURI = "CSlab.xml"
+
+// DTDSource is the laboratory DTD of Figure 1(a).
+const DTDSource = `<!ELEMENT laboratory (project+)>
+<!ATTLIST laboratory name CDATA #REQUIRED>
+<!ELEMENT project (manager, paper*, fund?)>
+<!ATTLIST project
+	name CDATA #REQUIRED
+	type (internal|public) #REQUIRED>
+<!ELEMENT manager (flname)>
+<!ELEMENT flname (#PCDATA)>
+<!ELEMENT paper (title)>
+<!ATTLIST paper category (private|public) #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT fund (#PCDATA)>
+<!ATTLIST fund sponsor CDATA #IMPLIED>
+`
+
+// DocSource is the CSlab document of Figure 3(a): one internal and one
+// public project, with private and public papers.
+const DocSource = `<?xml version="1.0"?>
+<!DOCTYPE laboratory SYSTEM "laboratory.xml">
+<laboratory name="CSlab">
+  <project name="Access Models" type="internal">
+    <manager><flname>Ada Turing</flname></manager>
+    <paper category="private"><title>Security Markup</title></paper>
+    <paper category="public"><title>XML Views</title></paper>
+    <fund sponsor="MURST">40000</fund>
+  </project>
+  <project name="Web Search" type="public">
+    <manager><flname>Bob Codd</flname></manager>
+    <paper category="public"><title>Crawling the Web</title></paper>
+    <paper category="private"><title>Ranking Internals</title></paper>
+  </project>
+</laboratory>
+`
+
+// AuthTuples are the four authorizations of Example 1, in the paper's
+// compact textual form. The first attaches to the DTD (schema level),
+// the rest to the CSlab document (instance level).
+var AuthTuples = [4]string{
+	`<<Foreign,*,*>,laboratory.xml:/laboratory//paper[./@category="private"],read,-,R>`,
+	`<<Public,*,*>,CSlab.xml:/laboratory//paper[./@category="public"],read,+,RW>`,
+	`<<Admin,130.89.56.8,*>,CSlab.xml:project[./@type="internal"],read,+,R>`,
+	`<<Public,*,*.it>,CSlab.xml:project[./@type="public"]/manager,read,+,RW>`,
+}
+
+// Tom is the requester of Example 2: user Tom, member of group Foreign,
+// connected from infosys.bld1.it (the paper prints the address as
+// 130.100.50.8).
+var Tom = subjects.Requester{User: "Tom", IP: "130.100.50.8", Host: "infosys.bld1.it"}
+
+// Directory returns the user/group population implied by the examples:
+// groups Foreign and Admin (plus the implicit Public), Tom in Foreign,
+// and an administrator Sam in Admin.
+func Directory() *subjects.Directory {
+	d := subjects.NewDirectory()
+	must(d.AddGroup("Foreign"))
+	must(d.AddGroup("Admin"))
+	must(d.AddUser("Tom", "Foreign"))
+	must(d.AddUser("Sam", "Admin"))
+	must(d.AddUser("Alice"))
+	return d
+}
+
+// Store returns an authorization store loaded with Example 1: the first
+// tuple at schema level, the others at instance level.
+func Store() *authz.Store {
+	s := authz.NewStore()
+	for i, t := range AuthTuples {
+		a := authz.MustParse(t)
+		level := authz.InstanceLevel
+		if i == 0 {
+			level = authz.SchemaLevel
+		}
+		if err := s.Add(level, a); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// Parse parses the CSlab document together with its DTD.
+func Parse() (*dom.Document, *dtd.DTD) {
+	res := xmlparse.MustParse(DocSource, xmlparse.Options{
+		Loader: xmlparse.MapLoader{DTDURI: DTDSource},
+	})
+	return res.Doc, res.DTD
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

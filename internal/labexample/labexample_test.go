@@ -1,0 +1,73 @@
+package labexample
+
+import (
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/dtd"
+)
+
+func TestFixturesParse(t *testing.T) {
+	doc, d := Parse()
+	if doc.DocumentElement().Name != "laboratory" {
+		t.Error("root element wrong")
+	}
+	if d == nil || d.Element("project") == nil {
+		t.Error("DTD not loaded")
+	}
+	if errs := d.Validate(doc, dtd.ValidateOptions{}); errs != nil {
+		t.Errorf("CSlab must validate: %v", errs)
+	}
+	if got := doc.CountNodes(); got != 26 {
+		t.Errorf("node count = %d, want 26", got)
+	}
+}
+
+func TestAuthTuplesParse(t *testing.T) {
+	for i, tu := range AuthTuples {
+		a, err := authz.Parse(tu)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		wantURI := DocURI
+		if i == 0 {
+			wantURI = DTDURI
+		}
+		if a.Object.URI != wantURI {
+			t.Errorf("tuple %d URI = %q, want %q", i, a.Object.URI, wantURI)
+		}
+	}
+}
+
+func TestAuthTuplesSelectNodes(t *testing.T) {
+	doc, _ := Parse()
+	wantCounts := []int{2, 2, 1, 1} // private papers, public papers, internal project, public manager
+	for i, tu := range AuthTuples {
+		a := authz.MustParse(tu)
+		nodes, err := a.SelectNodes(doc)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if len(nodes) != wantCounts[i] {
+			t.Errorf("tuple %d selects %d nodes, want %d", i, len(nodes), wantCounts[i])
+		}
+	}
+}
+
+func TestDirectoryAndStore(t *testing.T) {
+	d := Directory()
+	if !d.MemberOf("Tom", "Foreign") || !d.MemberOf("Sam", "Admin") {
+		t.Error("example memberships wrong")
+	}
+	if d.MemberOf("Tom", "Admin") {
+		t.Error("Tom should not be Admin")
+	}
+	s := Store()
+	if len(s.ForDocument(DocURI)) != 3 || len(s.ForSchema(DTDURI)) != 1 {
+		t.Errorf("store layout wrong: %d instance, %d schema",
+			len(s.ForDocument(DocURI)), len(s.ForSchema(DTDURI)))
+	}
+	if _, err := Tom.Subject(); err != nil {
+		t.Errorf("Tom is not a valid requester: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"xmlsec/internal/core"
+	"xmlsec/internal/subjects"
+)
+
+// AuditRecord is one line of the site's audit trail: who asked for
+// what, what the decision was, and how much of the document the
+// decision exposed. Access-control decisions are security-relevant
+// events; a processor that cannot answer "who saw this document"
+// after the fact is not deployable.
+type AuditRecord struct {
+	// Time is the decision instant (RFC 3339, UTC).
+	Time time.Time `json:"time"`
+	// Op is the operation: "read", "write", or "query".
+	Op string `json:"op"`
+	// User, IP, Host identify the requester (the subject triple).
+	User string `json:"user"`
+	IP   string `json:"ip"`
+	Host string `json:"host,omitempty"`
+	// URI is the requested document.
+	URI string `json:"uri"`
+	// Decision is "ok", "not-found", "forbidden", or "error".
+	Decision string `json:"decision"`
+	// Kept and Nodes report the view size for successful reads.
+	Kept  int `json:"kept,omitempty"`
+	Nodes int `json:"nodes,omitempty"`
+	// Detail carries the denial reason or error summary, if any.
+	Detail string `json:"detail,omitempty"`
+}
+
+// auditor serializes audit records as JSON lines to a writer.
+type auditor struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// SetAuditLog directs the site's audit trail to w (JSON lines). Pass
+// nil to disable. Safe to call before serving traffic.
+func (s *Site) SetAuditLog(w io.Writer) {
+	if w == nil {
+		s.audit = nil
+		return
+	}
+	s.audit = &auditor{w: w, now: func() time.Time { return time.Now().UTC() }}
+}
+
+func (a *auditor) log(rec AuditRecord) {
+	if a == nil {
+		return
+	}
+	rec.Time = a.now()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return // an unmarshalable record must not break serving
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _ = a.w.Write(append(b, '\n'))
+}
+
+// auditRead records the outcome of a Process call.
+func (s *Site) auditRead(rq subjects.Requester, uri string, view *core.View, err error) {
+	if s.audit == nil {
+		return
+	}
+	rec := AuditRecord{
+		Op: "read", User: rq.User, IP: rq.IP, Host: rq.Host, URI: uri,
+	}
+	switch {
+	case err == nil:
+		rec.Decision = "ok"
+		if view != nil {
+			rec.Kept = view.Stats.Kept
+			rec.Nodes = view.Stats.Nodes
+		}
+	case isNotFound(err):
+		rec.Decision = "not-found"
+	default:
+		rec.Decision = "error"
+		rec.Detail = err.Error()
+	}
+	s.audit.log(rec)
+}
+
+// auditWrite records the outcome of an Update call.
+func (s *Site) auditWrite(rq subjects.Requester, uri string, err error) {
+	if s.audit == nil {
+		return
+	}
+	rec := AuditRecord{
+		Op: "write", User: rq.User, IP: rq.IP, Host: rq.Host, URI: uri,
+	}
+	switch {
+	case err == nil:
+		rec.Decision = "ok"
+	case isNotFound(err):
+		rec.Decision = "not-found"
+	case isForbidden(err):
+		rec.Decision = "forbidden"
+		rec.Detail = err.Error()
+	default:
+		rec.Decision = "error"
+		rec.Detail = err.Error()
+	}
+	s.audit.log(rec)
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"xmlsec/internal/subjects"
+)
+
+// viewCache memoizes processed views per (requester triple, document).
+// Entries are keyed on both the authorization store's generation and
+// the document store's generation, so any policy or content change
+// invalidates them implicitly; an LRU bound keeps memory flat.
+//
+// The cache is sound because view computation is deterministic in
+// (requester, document, authorizations): two requests with the same
+// triple always receive byte-identical views. Authorizations with
+// validity windows make views time-dependent, so Process bypasses the
+// cache for documents that have any (see cacheable).
+type viewCache struct {
+	mu    sync.Mutex
+	max   int
+	lru   *list.List // front = most recent; values are *cacheEntry
+	index map[viewKey]*list.Element
+
+	hits, misses atomic.Uint64
+}
+
+type viewKey struct {
+	user, ip, host string
+	uri            string
+	authGen        uint64
+	docGen         uint64
+}
+
+type cacheEntry struct {
+	key viewKey
+	res *ProcessResult
+}
+
+func newViewCache(max int) *viewCache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &viewCache{max: max, lru: list.New(), index: make(map[viewKey]*list.Element)}
+}
+
+func (c *viewCache) get(k viewKey) (*ProcessResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *viewCache) put(k viewKey, res *ProcessResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: k, res: res})
+	c.index[k] = el
+	for c.lru.Len() > c.max {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.index, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats reports cache effectiveness.
+func (c *viewCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *viewCache) key(rq subjects.Requester, uri string, authGen, docGen uint64) viewKey {
+	return viewKey{user: rq.User, ip: rq.IP, host: rq.Host, uri: uri, authGen: authGen, docGen: docGen}
+}

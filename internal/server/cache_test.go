@@ -1,0 +1,135 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/labexample"
+	"xmlsec/internal/subjects"
+)
+
+func TestViewCacheHitsAndCorrectness(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	first, err := site.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := site.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.XML != second.XML {
+		t.Error("cached view differs")
+	}
+	hits, misses := site.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// Different requester → different entry, never Tom's bytes.
+	sam := subjects.Requester{User: "Sam", IP: "130.89.56.8", Host: "adminhost.lab.com"}
+	samRes, err := site.Process(sam, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samRes.XML == first.XML {
+		t.Error("cache leaked one requester's view to another")
+	}
+}
+
+func TestViewCacheInvalidatedByAuthChange(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	before, err := site.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New denial: Tom loses the manager subtree.
+	if err := site.Auths.Add(authz.InstanceLevel,
+		authz.MustParse(`<<Foreign,*,*>,CSlab.xml://manager,read,-,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := site.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.XML == before.XML {
+		t.Error("stale view served after authorization change")
+	}
+	if strings.Contains(after.XML, "Bob Codd") {
+		t.Errorf("denial not enforced after cache invalidation:\n%s", after.XML)
+	}
+}
+
+func TestViewCacheInvalidatedByDocumentChange(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	if err := site.Auths.Add(authz.InstanceLevel,
+		authz.MustParse(`<<Admin,*,*>,CSlab.xml:/laboratory,read,+,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.GrantWrite(authz.InstanceLevel,
+		`<<Admin,*,*>,CSlab.xml:/laboratory,write,+,R>`); err != nil {
+		t.Fatal(err)
+	}
+	sam := subjects.Requester{User: "Sam", IP: "130.89.56.8", Host: "adminhost.lab.com"}
+	before, err := site.Process(sam, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := site.Update(sam, labexample.DocURI, updatedCSlab); err != nil {
+		t.Fatal(err)
+	}
+	after, err := site.Process(sam, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.XML == before.XML {
+		t.Error("stale view served after document update")
+	}
+}
+
+func TestViewCacheBypassedWithTimeBoundedAuths(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	a := authz.MustParse(`<<Public,*,*>,CSlab.xml://fund,read,+,R>`)
+	a.Validity.NotAfter = time.Now().Add(time.Hour)
+	if err := site.Auths.Add(authz.InstanceLevel, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site.Process(labexample.Tom, labexample.DocURI); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site.Process(labexample.Tom, labexample.DocURI); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := site.CacheStats()
+	if hits != 0 {
+		t.Errorf("cache used despite time-bounded authorizations: %d hits", hits)
+	}
+}
+
+func TestViewCacheLRUEviction(t *testing.T) {
+	c := newViewCache(2)
+	k1 := viewKey{user: "a", uri: "1"}
+	k2 := viewKey{user: "a", uri: "2"}
+	k3 := viewKey{user: "a", uri: "3"}
+	c.put(k1, &ProcessResult{XML: "1"})
+	c.put(k2, &ProcessResult{XML: "2"})
+	if _, ok := c.get(k1); !ok {
+		t.Fatal("k1 should be cached")
+	}
+	c.put(k3, &ProcessResult{XML: "3"}) // evicts k2 (least recent)
+	if _, ok := c.get(k2); ok {
+		t.Error("k2 should have been evicted")
+	}
+	if _, ok := c.get(k1); !ok {
+		t.Error("k1 should have survived (recently used)")
+	}
+	if _, ok := c.get(k3); !ok {
+		t.Error("k3 should be cached")
+	}
+	// Overwriting an existing key keeps the size bounded.
+	c.put(k3, &ProcessResult{XML: "3b"})
+	if got, _ := c.get(k3); got.XML != "3b" {
+		t.Error("put should replace existing entries")
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/labexample"
+	"xmlsec/internal/subjects"
+)
+
+// TestConcurrentProcess drives the full processor from many goroutines
+// with a mix of requesters, cache enabled, while authorizations are
+// added concurrently — run with -race this pins down the engine's and
+// stores' thread safety.
+func TestConcurrentProcess(t *testing.T) {
+	site := labSite(t).EnableViewCache(32)
+	site.Resolver.(*StaticResolver).Add("130.89.56.8", "adminhost.lab.com")
+	requesters := []subjects.Requester{
+		labexample.Tom,
+		{User: "Sam", IP: "130.89.56.8", Host: "adminhost.lab.com"},
+		{User: "anonymous", IP: "200.1.2.3", Host: "out.example.org"},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rq := requesters[(g+i)%len(requesters)]
+				res, err := site.Process(rq, labexample.DocURI)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", rq, err)
+					return
+				}
+				if res.XML == "" {
+					errs <- fmt.Errorf("%s: empty XML", rq)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent policy churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			a := authz.MustParse(fmt.Sprintf(
+				`<<g%d,*,*>,CSlab.xml://fund,read,-,L>`, i))
+			if err := site.Auths.Add(authz.InstanceLevel, a); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlsec/internal/labexample"
+)
+
+// writeSite lays out a site configuration directory on disk.
+func writeSite(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func labSiteFiles() map[string]string {
+	xacl := `<xacl about="laboratory.xml" level="schema">
+  <authorization>
+    <subject ug="Foreign"/>
+    <object path="/laboratory//paper[./@category='private']"/>
+    <action>read</action><sign>-</sign><type>R</type>
+  </authorization>
+</xacl>`
+	xacl2 := `<xacl about="CSlab.xml">
+  <authorization>
+    <subject ug="Public"/>
+    <object path="/laboratory//paper[./@category='public']"/>
+    <action>read</action><sign>+</sign><type>RW</type>
+  </authorization>
+</xacl>`
+	return map[string]string{
+		"dtds/laboratory.xml": labexample.DTDSource,
+		"docs/CSlab.xml":      labexample.DocSource,
+		"xacl/dtd.xml":        xacl,
+		"xacl/doc.xml":        xacl2,
+		"groups.conf":         "# groups\nForeign\nAdmin\n",
+		"users.conf":          "Tom:pw-tom:Foreign\nSam:pw-sam:Admin\n",
+		"resolver.conf":       "130.100.50.8 infosys.bld1.it\n",
+		"policy.conf":         "CSlab.xml denials-take-precedence closed\n",
+	}
+}
+
+func TestLoadSiteDir(t *testing.T) {
+	dir := writeSite(t, labSiteFiles())
+	site, err := LoadSiteDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !site.Directory.HasGroup("Foreign") || !site.Directory.HasUser("Tom") {
+		t.Error("directory not loaded")
+	}
+	if !site.Directory.MemberOf("Tom", "Foreign") {
+		t.Error("user memberships not loaded")
+	}
+	if !site.Users.Authenticate("Tom", "pw-tom") {
+		t.Error("credentials not loaded")
+	}
+	if site.Docs.Doc("CSlab.xml") == nil || site.Docs.DTD("laboratory.xml") == nil {
+		t.Error("documents/DTDs not loaded")
+	}
+	if site.Auths.Len() != 2 {
+		t.Errorf("auths = %d, want 2", site.Auths.Len())
+	}
+	if got := site.Resolver.Reverse("130.100.50.8"); got != "infosys.bld1.it" {
+		t.Errorf("resolver = %q", got)
+	}
+
+	// End to end through the loaded site: Tom's view hides private
+	// papers and shows public ones.
+	res, err := site.Process(labexample.Tom, "CSlab.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.XML, "Security Markup") || !strings.Contains(res.XML, "XML Views") {
+		t.Errorf("loaded site produced wrong view:\n%s", res.XML)
+	}
+}
+
+func TestLoadSiteDirPolicy(t *testing.T) {
+	files := labSiteFiles()
+	files["policy.conf"] = "CSlab.xml permissions-take-precedence open\n"
+	dir := writeSite(t, files)
+	site, err := LoadSiteDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := site.Engine.PolicyFor("CSlab.xml")
+	if !pol.Open {
+		t.Error("open policy not loaded")
+	}
+}
+
+func TestLoadSiteDirErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		patch map[string]string
+	}{
+		{"bad users line", map[string]string{"users.conf": "justname\n"}},
+		{"bad resolver line", map[string]string{"resolver.conf": "only-ip\n"}},
+		{"bad policy rule", map[string]string{"policy.conf": "CSlab.xml bogus-rule\n"}},
+		{"bad policy mode", map[string]string{"policy.conf": "CSlab.xml denials-take-precedence sideways\n"}},
+		{"bad xacl", map[string]string{"xacl/dtd.xml": "<broken"}},
+		{"bad dtd", map[string]string{"dtds/laboratory.xml": "<!ELEMENT"}},
+		{"invalid doc", map[string]string{"docs/CSlab.xml": `<!DOCTYPE laboratory SYSTEM "laboratory.xml"><laboratory name="x"></laboratory>`}},
+		{"group cycle", map[string]string{"groups.conf": "A:B\nB:A\n"}},
+	}
+	for _, c := range cases {
+		files := labSiteFiles()
+		for k, v := range c.patch {
+			files[k] = v
+		}
+		dir := writeSite(t, files)
+		if _, err := LoadSiteDir(dir); err == nil {
+			t.Errorf("%s: LoadSiteDir should fail", c.name)
+		}
+	}
+}
+
+func TestLoadSiteDirEmptyIsFine(t *testing.T) {
+	site, err := LoadSiteDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(site.Docs.URIs()) != 0 || site.Auths.Len() != 0 {
+		t.Error("empty site should be empty")
+	}
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"xmlsec/internal/dom"
+	"xmlsec/internal/dtd"
+	"xmlsec/internal/xmlparse"
+)
+
+// StoredDoc is a document registered at the site: its source text, the
+// parsed tree, and its DTD binding.
+type StoredDoc struct {
+	// URI is the document's identifier (the authorization object key).
+	URI string
+	// Source is the original XML text.
+	Source string
+	// DTDURI is the URI of the DTD the document is an instance of;
+	// empty for DTD-less documents.
+	DTDURI string
+	// Doc is the parsed tree (attribute defaults applied).
+	Doc *dom.Document
+	// DTD is the parsed document type definition, or nil.
+	DTD *dtd.DTD
+}
+
+// DocStore is the site's registry of protected resources: XML documents
+// and the DTDs they are instances of. It also caches the loosened
+// version of each DTD (Section 6.2), which is what requesters receive.
+type DocStore struct {
+	mu    sync.RWMutex
+	gen   uint64
+	docs  map[string]*StoredDoc
+	dtds  map[string]*dtd.DTD // DTD URI → parsed DTD
+	srcs  map[string]string   // DTD URI → source text
+	loose map[string]*dtd.DTD // DTD URI → loosened DTD (lazily built)
+}
+
+// NewDocStore returns an empty registry.
+func NewDocStore() *DocStore {
+	return &DocStore{
+		docs:  make(map[string]*StoredDoc),
+		dtds:  make(map[string]*dtd.DTD),
+		srcs:  make(map[string]string),
+		loose: make(map[string]*dtd.DTD),
+	}
+}
+
+// AddDTD registers a DTD under its URI.
+func (s *DocStore) AddDTD(uri, source string) error {
+	d, err := dtd.Parse(source)
+	if err != nil {
+		return fmt.Errorf("server: DTD %q: %w", uri, err)
+	}
+	d.CompileAll()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dtds[uri] = d
+	s.srcs[uri] = source
+	delete(s.loose, uri)
+	s.gen++
+	return nil
+}
+
+// Generation returns a counter that changes whenever registered content
+// changes, for cache invalidation.
+func (s *DocStore) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// AddDocument parses and registers a document. The document's DOCTYPE
+// system identifier, if any, must name a DTD already registered with
+// AddDTD (the registry is the store's closed world; nothing is fetched).
+// If the document is not valid with respect to its DTD, registration
+// fails: the processor's contract takes valid documents as input.
+func (s *DocStore) AddDocument(uri, source string) error {
+	s.mu.RLock()
+	loader := make(xmlparse.MapLoader, len(s.srcs))
+	for u, src := range s.srcs {
+		loader[u] = src
+	}
+	s.mu.RUnlock()
+
+	res, err := xmlparse.Parse(source, xmlparse.Options{Loader: loader, ApplyDefaults: true})
+	if err != nil {
+		return fmt.Errorf("server: document %q: %w", uri, err)
+	}
+	sd := &StoredDoc{URI: uri, Source: source, Doc: res.Doc}
+	if res.Doc.DocType != nil && res.Doc.DocType.SystemID != "" {
+		sd.DTDURI = res.Doc.DocType.SystemID
+	}
+	if res.DTD != nil {
+		sd.DTD = res.DTD
+		sd.DTD.Name = res.Doc.DocType.Name
+		if errs := sd.DTD.Validate(res.Doc, dtd.ValidateOptions{}); errs != nil {
+			return fmt.Errorf("server: document %q is not valid: %w", uri, errs)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[uri] = sd
+	s.gen++
+	return nil
+}
+
+// Doc returns the stored document for uri, or nil.
+func (s *DocStore) Doc(uri string) *StoredDoc {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.docs[uri]
+}
+
+// DTD returns the registered DTD for uri, or nil.
+func (s *DocStore) DTD(uri string) *dtd.DTD {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dtds[uri]
+}
+
+// DTDSource returns the registered DTD source text for uri.
+func (s *DocStore) DTDSource(uri string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src, ok := s.srcs[uri]
+	return src, ok
+}
+
+// Loosened returns the loosened version of the DTD registered at uri,
+// building and caching it on first use. Requesters only ever see the
+// loosened DTD: delivering the original would reveal which components
+// security enforcement may have pruned.
+func (s *DocStore) Loosened(uri string) *dtd.DTD {
+	s.mu.RLock()
+	if l, ok := s.loose[uri]; ok {
+		s.mu.RUnlock()
+		return l
+	}
+	d := s.dtds[uri]
+	s.mu.RUnlock()
+	if d == nil {
+		return nil
+	}
+	l := d.Loosen()
+	l.CompileAll()
+	s.mu.Lock()
+	s.loose[uri] = l
+	s.mu.Unlock()
+	return l
+}
+
+// URIs returns the registered document URIs.
+func (s *DocStore) URIs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.docs))
+	for u := range s.docs {
+		out = append(out, u)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"xmlsec/internal/dom"
+)
+
+// Handler exposes the site over HTTP:
+//
+//	GET /docs/<uri>           — the requester's view of the document
+//	PUT /docs/<uri>           — replace the document (write authority)
+//	GET /query/<uri>?q=<xp>   — XPath query over the requester's view
+//	GET /dtds/<uri>           — the loosened DTD (never the original)
+//	GET /healthz              — liveness probe
+//
+// Identification uses HTTP Basic authentication against the site's
+// UserDB; requests without credentials proceed as "anonymous". The
+// requester's IP is taken from the connection and its symbolic name
+// from the site's resolver, completing the paper's subject triple.
+func (s *Site) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /docs/", s.handleDoc)
+	mux.HandleFunc("PUT /docs/", s.handleUpdate)
+	mux.HandleFunc("GET /query/", s.handleQuery)
+	mux.HandleFunc("GET /dtds/", s.handleDTD)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// authenticate resolves the requesting user. The bool result is false
+// when credentials were presented and rejected.
+func (s *Site) authenticate(r *http.Request) (string, bool) {
+	user, pass, ok := r.BasicAuth()
+	if !ok {
+		return "", true // anonymous
+	}
+	if s.Users.Authenticate(user, pass) {
+		return user, true
+	}
+	return "", false
+}
+
+func (s *Site) peerIP(r *http.Request) string {
+	if s.TrustForwardedFor {
+		if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
+			// Use the first (client) address of the chain.
+			if i := strings.IndexByte(fwd, ','); i >= 0 {
+				fwd = fwd[:i]
+			}
+			return strings.TrimSpace(fwd)
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Site) handleDoc(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.authenticate(r)
+	if !ok {
+		w.Header().Set("WWW-Authenticate", `Basic realm="xmlsec"`)
+		http.Error(w, "authentication failed", http.StatusUnauthorized)
+		return
+	}
+	uri := strings.TrimPrefix(r.URL.Path, "/docs/")
+	rq := s.RequesterFor(user, s.peerIP(r))
+	res, err := s.Process(rq, uri)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		// Unknown documents and fully protected documents are
+		// indistinguishable, by design.
+		http.NotFound(w, r)
+		return
+	case err != nil:
+		log.Printf("server: %s requesting %q: %v", rq, uri, err)
+		http.Error(w, "internal error", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = w.Write([]byte(res.XML))
+}
+
+func (s *Site) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.authenticate(r)
+	if !ok {
+		w.Header().Set("WWW-Authenticate", `Basic realm="xmlsec"`)
+		http.Error(w, "authentication failed", http.StatusUnauthorized)
+		return
+	}
+	uri := strings.TrimPrefix(r.URL.Path, "/docs/")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return
+	}
+	rq := s.RequesterFor(user, s.peerIP(r))
+	switch err := s.Update(rq, uri, string(body)); {
+	case errors.Is(err, ErrNotFound):
+		http.NotFound(w, r)
+	case errors.Is(err, ErrForbidden):
+		http.Error(w, "write not authorized", http.StatusForbidden)
+	case err != nil:
+		// Parse/validity problems are the client's fault; report them.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func (s *Site) handleQuery(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.authenticate(r)
+	if !ok {
+		w.Header().Set("WWW-Authenticate", `Basic realm="xmlsec"`)
+		http.Error(w, "authentication failed", http.StatusUnauthorized)
+		return
+	}
+	uri := strings.TrimPrefix(r.URL.Path, "/query/")
+	expr := r.URL.Query().Get("q")
+	if expr == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	rq := s.RequesterFor(user, s.peerIP(r))
+	res, err := s.QueryDoc(rq, uri, expr)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		http.NotFound(w, r)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	if err := res.Write(w, dom.WriteOptions{Indent: "  "}); err != nil {
+		log.Printf("server: writing query result: %v", err)
+	}
+}
+
+func (s *Site) handleDTD(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authenticate(r); !ok {
+		w.Header().Set("WWW-Authenticate", `Basic realm="xmlsec"`)
+		http.Error(w, "authentication failed", http.StatusUnauthorized)
+		return
+	}
+	uri := strings.TrimPrefix(r.URL.Path, "/dtds/")
+	loose := s.Docs.Loosened(uri)
+	if loose == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml-dtd")
+	_, _ = w.Write([]byte(loose.String()))
+}

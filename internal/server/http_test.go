@@ -1,0 +1,158 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get performs a request against the site's handler with optional
+// credentials and a simulated client IP.
+func get(t *testing.T, h http.Handler, path, user, pass, from string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if from != "" {
+		req.RemoteAddr = from + ":40000"
+	}
+	if user != "" {
+		req.SetBasicAuth(user, pass)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	b, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(b)
+}
+
+func TestHTTPDocumentViews(t *testing.T) {
+	site := labSite(t)
+	h := site.Handler()
+
+	// Tom from the example host: the Figure 3 view.
+	code, body := get(t, h, "/docs/CSlab.xml", "Tom", "pw-tom", "130.100.50.8")
+	if code != http.StatusOK {
+		t.Fatalf("Tom: HTTP %d: %s", code, body)
+	}
+	if strings.Contains(body, "Security Markup") {
+		t.Errorf("private paper leaked to Tom:\n%s", body)
+	}
+	if !strings.Contains(body, "Crawling the Web") {
+		t.Errorf("public paper missing for Tom:\n%s", body)
+	}
+
+	// Sam from the Admin host sees the internal project.
+	site.Resolver.(*StaticResolver).Add("130.89.56.8", "adminhost.lab.com")
+	code, body = get(t, h, "/docs/CSlab.xml", "Sam", "pw-sam", "130.89.56.8")
+	if code != http.StatusOK || !strings.Contains(body, "Security Markup") {
+		t.Errorf("Sam (HTTP %d) should see the internal project:\n%s", code, body)
+	}
+
+	// Same user from elsewhere loses the location-dependent grant.
+	code, body = get(t, h, "/docs/CSlab.xml", "Sam", "pw-sam", "200.9.9.9")
+	if code != http.StatusOK || strings.Contains(body, "Security Markup") {
+		t.Errorf("Sam off-host (HTTP %d) should lose the internal project:\n%s", code, body)
+	}
+}
+
+func TestHTTPAuthentication(t *testing.T) {
+	site := labSite(t)
+	h := site.Handler()
+	code, _ := get(t, h, "/docs/CSlab.xml", "Tom", "wrong-pw", "130.100.50.8")
+	if code != http.StatusUnauthorized {
+		t.Errorf("bad credentials: HTTP %d, want 401", code)
+	}
+	// No credentials: anonymous, still gets the public view.
+	code, body := get(t, h, "/docs/CSlab.xml", "", "", "200.1.2.3")
+	if code != http.StatusOK {
+		t.Fatalf("anonymous: HTTP %d", code)
+	}
+	if strings.Contains(body, "Ada Turing") || !strings.Contains(body, "XML Views") {
+		t.Errorf("anonymous view wrong:\n%s", body)
+	}
+}
+
+func TestHTTPNotFound(t *testing.T) {
+	site := labSite(t)
+	h := site.Handler()
+	code, _ := get(t, h, "/docs/ghost.xml", "Tom", "pw-tom", "130.100.50.8")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown doc: HTTP %d, want 404", code)
+	}
+	// A fully protected document is indistinguishable from an absent
+	// one.
+	if err := site.Docs.AddDocument("vault.xml", `<vault><k>s3cr3t</k></vault>`); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, h, "/docs/vault.xml", "Tom", "pw-tom", "130.100.50.8")
+	if code != http.StatusNotFound {
+		t.Errorf("fully protected doc: HTTP %d, want 404", code)
+	}
+	if strings.Contains(body, "s3cr3t") {
+		t.Error("protected content leaked in 404 body")
+	}
+}
+
+func TestHTTPLoosenedDTD(t *testing.T) {
+	site := labSite(t)
+	h := site.Handler()
+	code, body := get(t, h, "/dtds/laboratory.xml", "", "", "1.2.3.4")
+	if code != http.StatusOK {
+		t.Fatalf("dtd: HTTP %d", code)
+	}
+	if !strings.Contains(body, "#IMPLIED") || strings.Contains(body, "#REQUIRED") {
+		t.Errorf("served DTD is not loosened:\n%s", body)
+	}
+	code, _ = get(t, h, "/dtds/nope.dtd", "", "", "1.2.3.4")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown dtd: HTTP %d", code)
+	}
+}
+
+func TestHTTPForwardedFor(t *testing.T) {
+	site := labSite(t)
+	site.Resolver.(*StaticResolver).Add("130.89.56.8", "adminhost.lab.com")
+	h := site.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/docs/CSlab.xml", nil)
+	req.RemoteAddr = "127.0.0.1:1234"
+	req.Header.Set("X-Forwarded-For", "130.89.56.8, 10.0.0.1")
+	req.SetBasicAuth("Sam", "pw-sam")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	// Without trust, the header is ignored: Sam appears to come from
+	// 127.0.0.1 and loses the internal project.
+	if strings.Contains(body, "Security Markup") {
+		t.Errorf("X-Forwarded-For honored without TrustForwardedFor:\n%s", body)
+	}
+
+	site.TrustForwardedFor = true
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body = rec.Body.String()
+	if !strings.Contains(body, "Security Markup") {
+		t.Errorf("trusted X-Forwarded-For should grant the internal project:\n%s", body)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	site := labSite(t)
+	code, body := get(t, site.Handler(), "/healthz", "", "", "1.1.1.1")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+}
+
+func TestHTTPMethodNotAllowed(t *testing.T) {
+	site := labSite(t)
+	req := httptest.NewRequest(http.MethodPost, "/docs/CSlab.xml", nil)
+	rec := httptest.NewRecorder()
+	site.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST: HTTP %d, want 405", rec.Code)
+	}
+}

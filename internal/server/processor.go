@@ -1,0 +1,219 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/dtd"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+// ErrNotFound is returned for unknown documents and for documents whose
+// view for the requester is empty: a fully protected document is
+// indistinguishable from an absent one, extending the paper's
+// information-hiding argument for loosening to document existence.
+var ErrNotFound = errors.New("server: no such document")
+
+// Site assembles the full access-control system of the paper: subjects
+// (directory + credentials), objects (document store), authorizations
+// (store + engine), and the security processor operating over them.
+type Site struct {
+	Directory *subjects.Directory
+	Users     *UserDB
+	Auths     *authz.Store
+	Docs      *DocStore
+	Resolver  Resolver
+	Engine    *core.Engine
+
+	// ValidateViews re-validates every computed view against the
+	// loosened DTD before unparsing (the Section 6.2 guarantee),
+	// failing loudly on violation. Costs one validation pass per
+	// request; intended for development and tests.
+	ValidateViews bool
+
+	// ParsePerRequest re-parses the document source on every request,
+	// matching the paper's fully on-line four-step cycle. Off by
+	// default: documents are parsed at registration and cloned per
+	// request, which preserves semantics (E6 measures both).
+	ParsePerRequest bool
+
+	// cache, when non-nil, memoizes processed views per requester
+	// triple and document; see EnableViewCache.
+	cache *viewCache
+
+	// audit, when non-nil, receives one record per access decision;
+	// see SetAuditLog.
+	audit *auditor
+
+	// TrustForwardedFor derives the requester's IP from the
+	// X-Forwarded-For header instead of the connection's peer address.
+	// Location patterns are an access-control input here, so enable
+	// this ONLY when the processor is reachable exclusively through a
+	// proxy that sets the header; otherwise clients could forge their
+	// location.
+	TrustForwardedFor bool
+}
+
+// NewSite wires an empty site with a static resolver.
+func NewSite() *Site {
+	dir := subjects.NewDirectory()
+	auths := authz.NewStore()
+	return &Site{
+		Directory: dir,
+		Users:     NewUserDB(),
+		Auths:     auths,
+		Docs:      NewDocStore(),
+		Resolver:  NewStaticResolver(),
+		Engine:    core.NewEngine(dir, auths),
+	}
+}
+
+// LoadXACL parses an XACL document and installs its authorizations at
+// its declared level.
+func (s *Site) LoadXACL(input string) (*authz.XACL, error) {
+	x, err := authz.ParseXACL(input)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Auths.AddAll(x.Level, x.Auths); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// ProcessResult is the outcome of one execution cycle of the security
+// processor.
+type ProcessResult struct {
+	// View is the computed view (labeling + pruned tree).
+	View *core.View
+	// XML is the unparsed view document.
+	XML string
+	// DTDURI is the URI of the (loosened) DTD the view conforms to;
+	// empty for DTD-less documents.
+	DTDURI string
+}
+
+// Process runs the paper's four-step execution cycle for one request:
+//
+//  1. parsing — the requested document is parsed and validated against
+//     its DTD (done at registration unless ParsePerRequest);
+//  2. tree labeling — the DOM tree is labeled with the requester's
+//     authorizations (core.Engine.Label inside ComputeView);
+//  3. transformation — the labeled tree is pruned to the view;
+//  4. unparsing — the pruned tree is serialized back to XML text.
+//
+// The returned view references the loosened DTD, never the original.
+// An empty view returns ErrNotFound.
+func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, err error) {
+	defer func() {
+		var v *core.View
+		if res != nil {
+			v = res.View
+		}
+		s.auditRead(rq, uri, v, err)
+	}()
+	sd := s.Docs.Doc(uri)
+	if sd == nil {
+		return nil, ErrNotFound
+	}
+	// The cache is bypassed when any authorization is time-bounded
+	// (views then depend on the clock) or when documents re-parse per
+	// request (the operator asked for the fully on-line cycle).
+	useCache := s.cache != nil && !s.Auths.HasTimeBounded() && !s.ParsePerRequest
+	var key viewKey
+	if useCache {
+		key = s.cache.key(rq, uri, s.Auths.Generation(), s.Docs.Generation())
+		if res, ok := s.cache.get(key); ok {
+			return res, nil
+		}
+	}
+	doc := sd.Doc
+	if s.ParsePerRequest {
+		res, err := xmlparse.Parse(sd.Source, xmlparse.Options{
+			Loader:        storeLoader{s.Docs},
+			ApplyDefaults: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: re-parsing %q: %w", uri, err)
+		}
+		doc = res.Doc
+	}
+	req := core.Request{Requester: rq, URI: uri, DTDURI: sd.DTDURI}
+	view, err := s.Engine.ComputeView(req, doc)
+	if err != nil {
+		return nil, err
+	}
+	if view.Doc.DocumentElement() == nil {
+		return nil, ErrNotFound
+	}
+	if s.ValidateViews && sd.DTDURI != "" {
+		loose := s.Docs.Loosened(sd.DTDURI)
+		if loose == nil {
+			return nil, fmt.Errorf("server: document %q references unregistered DTD %q", uri, sd.DTDURI)
+		}
+		if errs := loose.Validate(view.Doc, dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
+			return nil, fmt.Errorf("server: view of %q violates the loosened DTD: %w", uri, errs)
+		}
+	}
+	var b strings.Builder
+	err = view.Doc.Write(&b, dom.WriteOptions{
+		Indent: "  ",
+		// The view's DOCTYPE keeps the same system identifier; the
+		// site serves the loosened DTD under the original's URI.
+		OmitDocType: sd.DTDURI == "",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ProcessResult{View: view, XML: b.String(), DTDURI: sd.DTDURI}
+	if useCache {
+		s.cache.put(key, out)
+	}
+	return out, nil
+}
+
+// EnableViewCache turns on memoization of processed views, bounded to
+// max entries (≤0 selects a default). Cached entries are keyed on the
+// authorization- and document-store generations, so any policy or
+// content change invalidates them. Returns the site for chaining.
+func (s *Site) EnableViewCache(max int) *Site {
+	s.cache = newViewCache(max)
+	return s
+}
+
+// CacheStats reports view-cache hits and misses (zeros when disabled).
+func (s *Site) CacheStats() (hits, misses uint64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.Stats()
+}
+
+// storeLoader adapts the DocStore's DTD registry to the parser.
+type storeLoader struct{ docs *DocStore }
+
+func (l storeLoader) LoadDTD(systemID string) (string, error) {
+	if src, ok := l.docs.DTDSource(systemID); ok {
+		return src, nil
+	}
+	return "", fmt.Errorf("server: DTD %q not registered", systemID)
+}
+
+// RequesterFor builds the subject triple for a connection: the
+// authenticated user (empty means anonymous), the peer IP, and the
+// symbolic name obtained from the resolver.
+func (s *Site) RequesterFor(user, ip string) subjects.Requester {
+	host := ""
+	if s.Resolver != nil {
+		host = s.Resolver.Reverse(ip)
+	}
+	if user == "" {
+		user = "anonymous"
+	}
+	return subjects.Requester{User: user, IP: ip, Host: host}
+}

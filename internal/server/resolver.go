@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Resolver maps a requester's numeric address to its symbolic name, the
+// third component of the paper's subject triple ⟨user-id, IP-address,
+// sym-address⟩. Resolution failures are not errors: a request from an
+// unresolvable host simply matches only universal symbolic patterns.
+type Resolver interface {
+	// Reverse returns the symbolic name for ip, or "" if unknown.
+	Reverse(ip string) string
+}
+
+// StaticResolver resolves from a fixed table — the hermetic resolver
+// used in tests and demonstrations (the paper's own example hosts are
+// preloaded by NewStaticResolver). Real deployments substitute
+// DNSResolver; the behaviour that matters to the model (the subject
+// triple and pattern matching) is identical. See DESIGN.md §4.
+type StaticResolver struct {
+	mu    sync.RWMutex
+	table map[string]string
+}
+
+// NewStaticResolver returns a resolver preloaded with the paper's
+// example hosts.
+func NewStaticResolver() *StaticResolver {
+	return &StaticResolver{table: map[string]string{
+		"130.100.50.8": "infosys.bld1.it", // Example 2's requester
+		"150.100.30.8": "tweety.lab.com",  // Section 3's example
+	}}
+}
+
+// Add registers a reverse mapping.
+func (r *StaticResolver) Add(ip, host string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.table[ip] = host
+}
+
+// Reverse implements Resolver.
+func (r *StaticResolver) Reverse(ip string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.table[ip]
+}
+
+// DNSResolver resolves through the system resolver with a short
+// timeout. It is the production substitute for StaticResolver.
+type DNSResolver struct {
+	// Timeout bounds each lookup; zero means 500ms.
+	Timeout time.Duration
+}
+
+// Reverse implements Resolver via net.LookupAddr.
+func (r DNSResolver) Reverse(ip string) string {
+	timeout := r.Timeout
+	if timeout == 0 {
+		timeout = 500 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	names, err := net.DefaultResolver.LookupAddr(ctx, ip)
+	if err != nil || len(names) == 0 {
+		return ""
+	}
+	return strings.TrimSuffix(names[0], ".")
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsec/internal/labexample"
+)
+
+// TestShippedSiteDir loads the site/ directory shipped with the
+// repository (the xmlsecd out-of-the-box configuration) and checks it
+// reproduces the paper's example end to end.
+func TestShippedSiteDir(t *testing.T) {
+	site, err := LoadSiteDir("../../site")
+	if err != nil {
+		t.Fatalf("the shipped site directory must load: %v", err)
+	}
+	if !site.Users.Authenticate("Tom", "tom-secret") {
+		t.Error("shipped credentials wrong")
+	}
+	res, err := site.Process(labexample.Tom, "CSlab.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.XML, "Security Markup") {
+		t.Errorf("shipped site leaks private papers to Tom:\n%s", res.XML)
+	}
+	if !strings.Contains(res.XML, "Bob Codd") {
+		t.Errorf("shipped site misses the *.it manager grant:\n%s", res.XML)
+	}
+	sam := site.RequesterFor("Sam", "130.89.56.8")
+	if sam.Host != "adminhost.lab.com" {
+		t.Errorf("shipped resolver.conf not applied: %+v", sam)
+	}
+	res, err = site.Process(sam, "CSlab.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.XML, "Security Markup") {
+		t.Errorf("shipped site should give Sam the internal project:\n%s", res.XML)
+	}
+}
+
+// TestShippedSiteSecondDocument: the schema-level XACL on the shared
+// DTD governs every instance — including EElab.xml, whose own XACL only
+// grants public papers.
+func TestShippedSiteSecondDocument(t *testing.T) {
+	site, err := LoadSiteDir("../../site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := site.Process(labexample.Tom, "EElab.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.XML, "Patent Draft") {
+		t.Errorf("schema-level denial did not carry over to the second instance:\n%s", res.XML)
+	}
+	if !strings.Contains(res.XML, "Beam Forming") {
+		t.Errorf("public paper missing from second instance:\n%s", res.XML)
+	}
+}

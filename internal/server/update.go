@@ -1,0 +1,145 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/dtd"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+// ErrForbidden is returned when a requester holds some access to a
+// document but not the authority the operation requires.
+var ErrForbidden = errors.New("server: operation not authorized")
+
+func isNotFound(err error) bool  { return errors.Is(err, ErrNotFound) }
+func isForbidden(err error) bool { return errors.Is(err, ErrForbidden) }
+
+// WriteAction is the action name of update authorizations. The paper
+// leaves full write semantics as future work (Section 8, footnote 2:
+// "the support of other actions ... does not complicate the
+// authorization model"); authorizations with action "write" flow
+// through the same subjects/objects/signs/types machinery.
+const WriteAction = "write"
+
+// Update replaces the document at uri with newSource under
+// write-through-views semantics — the natural extension of the paper's
+// view concept to its open "write and update operations" item:
+//
+//   - the requester's replacement is diffed against *their read view*
+//     of the document, never against the original, so unreadable
+//     content can neither be observed, overwritten, nor confirmed
+//     through the write path;
+//   - each edit requires a positive write label (action "write") on
+//     the original node it touches — see core.MergeView for the exact
+//     mapping;
+//   - the server merges the authorized edits back into the original,
+//     preserving everything the view hid, and the merged document must
+//     be valid against the same DTD.
+//
+// Returns ErrNotFound for unknown documents — or documents the
+// requester cannot even read, which must stay indistinguishable from
+// absent ones — and ErrForbidden (wrapping the offending edit) when an
+// edit exceeds the requester's write authority.
+func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) {
+	defer func() { s.auditWrite(rq, uri, err) }()
+	sd := s.Docs.Doc(uri)
+	if sd == nil {
+		return ErrNotFound
+	}
+	// Visibility first: a requester with no read view must not learn
+	// that the document exists from the write path either.
+	readReq := core.Request{Requester: rq, URI: uri, DTDURI: sd.DTDURI}
+	readView, err := s.Engine.ComputeView(readReq, sd.Doc)
+	if err != nil {
+		return err
+	}
+	if readView.Doc.DocumentElement() == nil {
+		return ErrNotFound
+	}
+	// Parse the replacement before judging it (malformed input is a
+	// client error regardless of authority).
+	res, err := xmlparse.Parse(newSource, xmlparse.Options{
+		Loader:        storeLoader{s.Docs},
+		ApplyDefaults: true,
+	})
+	if err != nil {
+		return fmt.Errorf("server: update of %q: %w", uri, err)
+	}
+	newDTDURI := ""
+	if res.Doc.DocType != nil {
+		newDTDURI = res.Doc.DocType.SystemID
+	}
+	if newDTDURI != sd.DTDURI {
+		return fmt.Errorf("server: update of %q must keep DTD %q (got %q)", uri, sd.DTDURI, newDTDURI)
+	}
+	// Write labels on the original document.
+	writeReq := core.Request{Requester: rq, URI: uri, DTDURI: sd.DTDURI, Action: WriteAction}
+	lb, _, err := s.Engine.Label(writeReq, sd.Doc)
+	if err != nil {
+		return err
+	}
+	pol := s.Engine.PolicyFor(uri)
+	writable := func(n *dom.Node) bool {
+		f := lb.FinalOf(n)
+		if pol.Open {
+			return f != core.Minus
+		}
+		return f == core.Plus
+	}
+	merged, err := core.MergeView(sd.Doc, readView, res.Doc, writable)
+	if err != nil {
+		var wde *core.WriteDeniedError
+		if errors.As(err, &wde) {
+			return fmt.Errorf("%w: %s", ErrForbidden, wde.Reason)
+		}
+		return err
+	}
+	if sd.DTDURI != "" {
+		d := s.Docs.DTD(sd.DTDURI)
+		if d == nil {
+			return fmt.Errorf("server: document %q references unregistered DTD %q", uri, sd.DTDURI)
+		}
+		if errs := d.Validate(merged, dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
+			return fmt.Errorf("server: update of %q is not valid: %w", uri, errs)
+		}
+	}
+	return s.Docs.AddDocument(uri, merged.String())
+}
+
+// QueryDoc evaluates an XPath query against the requester's view of a
+// document (the paper's "requests in form of generic queries" future
+// work) and returns the query result document. Queries run on the
+// view, never the original, so they cannot observe protected content.
+func (s *Site) QueryDoc(rq subjects.Requester, uri, expr string) (*dom.Document, error) {
+	sd := s.Docs.Doc(uri)
+	if sd == nil {
+		return nil, ErrNotFound
+	}
+	req := core.Request{Requester: rq, URI: uri, DTDURI: sd.DTDURI}
+	view, err := s.Engine.ComputeView(req, sd.Doc)
+	if err != nil {
+		return nil, err
+	}
+	if view.Doc.DocumentElement() == nil {
+		return nil, ErrNotFound
+	}
+	return view.QueryResult(expr)
+}
+
+// GrantWrite installs a write authorization from its tuple form,
+// rejecting tuples whose action is not "write".
+func (s *Site) GrantWrite(level authz.Level, tuple string) error {
+	a, err := authz.Parse(tuple)
+	if err != nil {
+		return err
+	}
+	if a.Action != WriteAction {
+		return fmt.Errorf("server: GrantWrite requires action %q, got %q", WriteAction, a.Action)
+	}
+	return s.Auths.Add(level, a)
+}

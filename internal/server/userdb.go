@@ -1,0 +1,92 @@
+// Package server implements the paper's server-side security processor
+// (Section 7): a component that, for each request, parses the requested
+// XML document, labels it with the requester's authorizations, prunes it
+// to the requester's view, and unparses the result — exposed over HTTP
+// with local authentication, as the paper's architecture prescribes
+// (identities are established and authenticated by the server).
+package server
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"sync"
+)
+
+// UserDB holds server-local credentials: user names with salted
+// password hashes. Group memberships live in the subjects.Directory;
+// the UserDB answers only "who is this".
+type UserDB struct {
+	mu    sync.RWMutex
+	users map[string]credential
+}
+
+type credential struct {
+	salt [16]byte
+	hash [32]byte
+}
+
+// NewUserDB returns an empty credential database.
+func NewUserDB() *UserDB {
+	return &UserDB{users: make(map[string]credential)}
+}
+
+// Set creates or replaces the credentials for a user.
+func (db *UserDB) Set(user, password string) error {
+	if user == "" {
+		return fmt.Errorf("server: empty user name")
+	}
+	var c credential
+	if _, err := rand.Read(c.salt[:]); err != nil {
+		return fmt.Errorf("server: generating salt: %w", err)
+	}
+	c.hash = hashPassword(c.salt, password)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.users[user] = c
+	return nil
+}
+
+// Remove deletes a user's credentials; it reports whether they existed.
+func (db *UserDB) Remove(user string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.users[user]
+	delete(db.users, user)
+	return ok
+}
+
+// Authenticate verifies a user/password pair in constant time with
+// respect to the stored hash.
+func (db *UserDB) Authenticate(user, password string) bool {
+	db.mu.RLock()
+	c, ok := db.users[user]
+	db.mu.RUnlock()
+	if !ok {
+		// Burn a comparison anyway so unknown users are not
+		// distinguishable by timing.
+		var zero credential
+		h := hashPassword(zero.salt, password)
+		subtle.ConstantTimeCompare(h[:], zero.hash[:])
+		return false
+	}
+	h := hashPassword(c.salt, password)
+	return subtle.ConstantTimeCompare(h[:], c.hash[:]) == 1
+}
+
+// Len returns the number of registered users.
+func (db *UserDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.users)
+}
+
+func hashPassword(salt [16]byte, password string) [32]byte {
+	h := sha256.New()
+	h.Write(salt[:])
+	h.Write([]byte(password))
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

@@ -1,0 +1,215 @@
+package subjects
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Directory is the server-local registry of users and groups. Groups do
+// not need to be disjoint and can be nested (a group can be a member of
+// other groups), forming a DAG over user/group identifiers.
+//
+// One group name may be designated as the public group (conventionally
+// "Public", as in the paper's examples); every user — including ones the
+// directory has never seen, such as "anonymous" — is implicitly a member.
+type Directory struct {
+	users  map[string]*userEntry
+	groups map[string]*groupEntry
+
+	// PublicGroup is the name of the group every requester belongs to;
+	// empty disables the convention. NewDirectory sets it to "Public".
+	PublicGroup string
+}
+
+type userEntry struct {
+	name   string
+	groups map[string]bool // direct memberships
+}
+
+type groupEntry struct {
+	name    string
+	parents map[string]bool // groups this group is a direct member of
+}
+
+// NewDirectory returns an empty directory with PublicGroup = "Public".
+func NewDirectory() *Directory {
+	return &Directory{
+		users:       make(map[string]*userEntry),
+		groups:      make(map[string]*groupEntry),
+		PublicGroup: "Public",
+	}
+}
+
+// AddGroup declares a group, optionally as a member of parent groups.
+// Parents are declared implicitly if unknown. Adding an existing group
+// extends its parent set.
+func (d *Directory) AddGroup(name string, parents ...string) error {
+	if name == "" {
+		return fmt.Errorf("subjects: empty group name")
+	}
+	if _, isUser := d.users[name]; isUser {
+		return fmt.Errorf("subjects: %q is already a user", name)
+	}
+	g := d.groups[name]
+	if g == nil {
+		g = &groupEntry{name: name, parents: make(map[string]bool)}
+		d.groups[name] = g
+	}
+	for _, p := range parents {
+		if p == name {
+			return fmt.Errorf("subjects: group %q cannot be a member of itself", name)
+		}
+		if err := d.AddGroup(p); err != nil {
+			return err
+		}
+		g.parents[p] = true
+	}
+	if d.wouldCycle(name) {
+		delete(d.groups, name)
+		return fmt.Errorf("subjects: adding group %q creates a membership cycle", name)
+	}
+	return nil
+}
+
+func (d *Directory) wouldCycle(start string) bool {
+	seen := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(string) bool
+	visit = func(g string) bool {
+		switch seen[g] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		seen[g] = 1
+		if e := d.groups[g]; e != nil {
+			for p := range e.parents {
+				if visit(p) {
+					return true
+				}
+			}
+		}
+		seen[g] = 2
+		return false
+	}
+	return visit(start)
+}
+
+// AddUser declares a user with direct memberships in the given groups.
+// Unknown groups are declared implicitly. Adding an existing user
+// extends its membership set.
+func (d *Directory) AddUser(name string, groups ...string) error {
+	if name == "" {
+		return fmt.Errorf("subjects: empty user name")
+	}
+	if _, isGroup := d.groups[name]; isGroup {
+		return fmt.Errorf("subjects: %q is already a group", name)
+	}
+	u := d.users[name]
+	if u == nil {
+		u = &userEntry{name: name, groups: make(map[string]bool)}
+		d.users[name] = u
+	}
+	for _, g := range groups {
+		if err := d.AddGroup(g); err != nil {
+			return err
+		}
+		u.groups[g] = true
+	}
+	return nil
+}
+
+// HasUser reports whether the user is declared.
+func (d *Directory) HasUser(name string) bool {
+	_, ok := d.users[name]
+	return ok
+}
+
+// HasGroup reports whether the group is declared.
+func (d *Directory) HasGroup(name string) bool {
+	_, ok := d.groups[name]
+	return ok
+}
+
+// Users returns the declared user names, sorted.
+func (d *Directory) Users() []string {
+	out := make([]string, 0, len(d.users))
+	for n := range d.users {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Groups returns the declared group names, sorted.
+func (d *Directory) Groups() []string {
+	out := make([]string, 0, len(d.groups))
+	for n := range d.groups {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemberOf reports whether identifier member is a member of identifier
+// container in the reflexive-transitive sense used by the ASH order:
+// every identifier is a member of itself; a user is a member of the
+// groups it belongs to, directly or through nested groups; and every
+// identifier is a member of the public group.
+func (d *Directory) MemberOf(member, container string) bool {
+	if member == container {
+		return true
+	}
+	if d.PublicGroup != "" && container == d.PublicGroup {
+		return true
+	}
+	var direct map[string]bool
+	if u := d.users[member]; u != nil {
+		direct = u.groups
+	} else if g := d.groups[member]; g != nil {
+		direct = g.parents
+	} else {
+		return false
+	}
+	seen := make(map[string]bool)
+	stack := make([]string, 0, len(direct))
+	for g := range direct {
+		stack = append(stack, g)
+	}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		if g == container {
+			return true
+		}
+		if e := d.groups[g]; e != nil {
+			for p := range e.parents {
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// DirectGroups returns the direct memberships of a user or group,
+// sorted; nil if the identifier is unknown.
+func (d *Directory) DirectGroups(name string) []string {
+	var m map[string]bool
+	if u := d.users[name]; u != nil {
+		m = u.groups
+	} else if g := d.groups[name]; g != nil {
+		m = g.parents
+	} else {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for g := range m {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}

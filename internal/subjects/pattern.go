@@ -1,0 +1,250 @@
+// Package subjects implements the paper's authorization subjects
+// (Section 3): server-local users organized into (possibly nested)
+// groups, physical locations identified by numeric IP addresses or
+// symbolic names, location patterns with wild cards, and the
+// authorization subject hierarchy ASH with its partial order — the order
+// that drives both applicability (an authorization for subject s applies
+// to every requester r with r ≤ s) and conflict resolution ("most
+// specific subject takes precedence").
+package subjects
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IPPattern is a numeric location pattern such as "151.100.*.*". A
+// concrete IP address is the special case with no wild cards. Patterns
+// are stored normalized to exactly four components; a trailing "*"
+// stands for a sequence, so "151.100.*" ≡ "151.100.*.*" as in the paper.
+type IPPattern struct {
+	comps [4]string
+}
+
+// AnyIP is the pattern "*" matching every numeric address.
+var AnyIP = IPPattern{comps: [4]string{"*", "*", "*", "*"}}
+
+// ParseIPPattern parses and normalizes a numeric location pattern.
+// Wild cards must be contiguous and right-most ("151.*.30.*" and
+// "*.100.30.8" are rejected), per the paper's well-formedness rule.
+func ParseIPPattern(s string) (IPPattern, error) {
+	if s == "" {
+		return IPPattern{}, fmt.Errorf("subjects: empty IP pattern")
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) > 4 {
+		return IPPattern{}, fmt.Errorf("subjects: IP pattern %q has more than 4 components", s)
+	}
+	var p IPPattern
+	wild := false
+	for i, c := range parts {
+		switch {
+		case c == "*":
+			wild = true
+		case wild:
+			return IPPattern{}, fmt.Errorf("subjects: IP pattern %q: wild cards must be right-most", s)
+		case !isNumeric(c):
+			return IPPattern{}, fmt.Errorf("subjects: IP pattern %q: component %q is not numeric", s, c)
+		default:
+			n := atoi(c)
+			if n > 255 {
+				return IPPattern{}, fmt.Errorf("subjects: IP pattern %q: component %q out of range", s, c)
+			}
+		}
+		p.comps[i] = c
+	}
+	// A short pattern must end in a wild card: "151.100" is ambiguous
+	// and rejected; "151.100.*" expands to "151.100.*.*".
+	if len(parts) < 4 && !wild {
+		return IPPattern{}, fmt.Errorf("subjects: IP pattern %q has fewer than 4 components and no trailing wild card", s)
+	}
+	for i := len(parts); i < 4; i++ {
+		p.comps[i] = "*"
+	}
+	return p, nil
+}
+
+// MustParseIPPattern is ParseIPPattern for known-good patterns.
+func MustParseIPPattern(s string) IPPattern {
+	p, err := ParseIPPattern(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the pattern, collapsing a trailing run of wild cards to
+// a single "*" as the paper writes them ("151.100.*").
+func (p IPPattern) String() string {
+	last := 4
+	for last > 0 && p.comps[last-1] == "*" {
+		last--
+	}
+	if last == 0 {
+		return "*"
+	}
+	parts := make([]string, 0, 4)
+	parts = append(parts, p.comps[:last]...)
+	if last < 4 {
+		parts = append(parts, "*")
+	}
+	return strings.Join(parts, ".")
+}
+
+// IsConcrete reports whether the pattern is a single address.
+func (p IPPattern) IsConcrete() bool {
+	for _, c := range p.comps {
+		if c == "*" {
+			return false
+		}
+	}
+	return true
+}
+
+// Leq reports p ≤ip q: every component of q is either the wild card or
+// equal to the corresponding component of p, so that the addresses
+// denoted by p are a subset of those denoted by q.
+//
+// (Definition 1 in the paper states the comparison with p and q swapped,
+// which would make concrete addresses incomparable with the patterns
+// that are meant to cover them; the examples and the applicability rule
+// "authorizations for s apply to all s' ≤ s" fix the intended
+// direction, implemented here.)
+func (p IPPattern) Leq(q IPPattern) bool {
+	for i := range q.comps {
+		if q.comps[i] != "*" && q.comps[i] != p.comps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return n
+		}
+	}
+	return n
+}
+
+// SNPattern is a symbolic location pattern such as "*.lab.com". The
+// wild card, if present, must be the left-most component, matching the
+// right-to-left specificity of symbolic names; it stands for one or more
+// name components.
+type SNPattern struct {
+	// wild indicates a leading "*".
+	wild bool
+	// suffix holds the concrete components, e.g. ["lab","com"].
+	suffix []string
+}
+
+// AnySN is the pattern "*" matching every symbolic name.
+var AnySN = SNPattern{wild: true}
+
+// ParseSNPattern parses a symbolic location pattern.
+func ParseSNPattern(s string) (SNPattern, error) {
+	if s == "" {
+		return SNPattern{}, fmt.Errorf("subjects: empty symbolic pattern")
+	}
+	parts := strings.Split(s, ".")
+	var p SNPattern
+	for i, c := range parts {
+		switch {
+		case c == "*":
+			if !p.wild && i > 0 {
+				return SNPattern{}, fmt.Errorf("subjects: symbolic pattern %q: wild cards must be left-most", s)
+			}
+			if len(p.suffix) > 0 {
+				return SNPattern{}, fmt.Errorf("subjects: symbolic pattern %q: wild cards must be contiguous", s)
+			}
+			p.wild = true
+		case c == "":
+			return SNPattern{}, fmt.Errorf("subjects: symbolic pattern %q has an empty component", s)
+		default:
+			p.suffix = append(p.suffix, strings.ToLower(c))
+		}
+	}
+	return p, nil
+}
+
+// MustParseSNPattern is ParseSNPattern for known-good patterns.
+func MustParseSNPattern(s string) SNPattern {
+	p, err := ParseSNPattern(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the pattern ("*.lab.com", "tweety.lab.com", or "*").
+func (p SNPattern) String() string {
+	if p.wild {
+		if len(p.suffix) == 0 {
+			return "*"
+		}
+		return "*." + strings.Join(p.suffix, ".")
+	}
+	return strings.Join(p.suffix, ".")
+}
+
+// IsConcrete reports whether the pattern is a single host name.
+func (p SNPattern) IsConcrete() bool { return !p.wild }
+
+// Leq reports p ≤sn q: the names denoted by p are a subset of those
+// denoted by q. Concretely, q's concrete suffix must be a component
+// suffix of p's, and if q has no wild card the patterns must be equal.
+func (p SNPattern) Leq(q SNPattern) bool {
+	if !q.wild {
+		return !p.wild && equalComps(p.suffix, q.suffix)
+	}
+	if len(q.suffix) == 0 {
+		return true // q is "*"
+	}
+	if p.wild {
+		// *.a.b ≤ *.b: p's suffix must end in q's suffix.
+		return hasSuffix(p.suffix, q.suffix)
+	}
+	// host ≤ *.suffix: the host needs at least one component for the
+	// wild card plus q's suffix.
+	return len(p.suffix) > len(q.suffix) && hasSuffix(p.suffix, q.suffix)
+}
+
+func equalComps(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasSuffix(a, suffix []string) bool {
+	if len(a) < len(suffix) {
+		return false
+	}
+	off := len(a) - len(suffix)
+	for i := range suffix {
+		if a[off+i] != suffix[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+package subjects
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIPPattern(t *testing.T) {
+	good := map[string]string{
+		"150.100.30.8":    "150.100.30.8",
+		"151.100.*.*":     "151.100.*",
+		"151.100.*":       "151.100.*",
+		"151.*":           "151.*",
+		"*":               "*",
+		"*.*.*.*":         "*",
+		"0.0.0.0":         "0.0.0.0",
+		"255.255.255.255": "255.255.255.255",
+	}
+	for in, want := range good {
+		p, err := ParseIPPattern(in)
+		if err != nil {
+			t.Errorf("ParseIPPattern(%q): %v", in, err)
+			continue
+		}
+		if p.String() != want {
+			t.Errorf("ParseIPPattern(%q).String() = %q, want %q", in, p.String(), want)
+		}
+	}
+	bad := []string{
+		"", "151.*.30.8", "*.100.30.8", "151.100", "1.2.3.4.5",
+		"151.abc.1.1", "256.1.1.1", "151.100.30.8.9",
+	}
+	for _, in := range bad {
+		if _, err := ParseIPPattern(in); err == nil {
+			t.Errorf("ParseIPPattern(%q) should fail", in)
+		}
+	}
+}
+
+func TestIPPatternLeq(t *testing.T) {
+	leq := func(a, b string) bool {
+		return MustParseIPPattern(a).Leq(MustParseIPPattern(b))
+	}
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"150.100.30.8", "150.100.30.8", true},
+		{"150.100.30.8", "150.100.*", true},
+		{"150.100.30.8", "150.*", true},
+		{"150.100.30.8", "*", true},
+		{"150.100.*", "150.*", true},
+		{"150.*", "150.100.*", false},
+		{"150.100.30.8", "150.100.30.9", false},
+		{"150.100.30.8", "151.100.*", false},
+		{"*", "150.*", false},
+		{"*", "*", true},
+	}
+	for _, c := range cases {
+		if got := leq(c.a, c.b); got != c.want {
+			t.Errorf("%s ≤ip %s = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIPPatternConcrete(t *testing.T) {
+	if !MustParseIPPattern("1.2.3.4").IsConcrete() {
+		t.Error("1.2.3.4 is concrete")
+	}
+	if MustParseIPPattern("1.2.*").IsConcrete() {
+		t.Error("1.2.* is not concrete")
+	}
+}
+
+func TestParseSNPattern(t *testing.T) {
+	good := map[string]string{
+		"tweety.lab.com": "tweety.lab.com",
+		"*.lab.com":      "*.lab.com",
+		"*.it":           "*.it",
+		"*":              "*",
+		"*.*.com":        "*.com", // contiguous wildcards collapse
+		"HOST.Lab.COM":   "host.lab.com",
+	}
+	for in, want := range good {
+		p, err := ParseSNPattern(in)
+		if err != nil {
+			t.Errorf("ParseSNPattern(%q): %v", in, err)
+			continue
+		}
+		if p.String() != want {
+			t.Errorf("ParseSNPattern(%q).String() = %q, want %q", in, p.String(), want)
+		}
+	}
+	bad := []string{"", "host.*.com", "host.*", "a..b", "*.lab.*"}
+	for _, in := range bad {
+		if _, err := ParseSNPattern(in); err == nil {
+			t.Errorf("ParseSNPattern(%q) should fail", in)
+		}
+	}
+}
+
+func TestSNPatternLeq(t *testing.T) {
+	leq := func(a, b string) bool {
+		return MustParseSNPattern(a).Leq(MustParseSNPattern(b))
+	}
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"tweety.lab.com", "tweety.lab.com", true},
+		{"tweety.lab.com", "*.lab.com", true},
+		{"tweety.lab.com", "*.com", true},
+		{"tweety.lab.com", "*", true},
+		{"a.b.lab.com", "*.lab.com", true},
+		{"*.bld1.lab.com", "*.lab.com", true},
+		{"*.lab.com", "*.lab.com", true},
+		{"lab.com", "*.lab.com", false}, // the host lab.com is not in the domain
+		{"*.com", "*.lab.com", false},
+		{"tweety.lab.com", "*.it", false},
+		{"tweety.lab.com", "other.lab.com", false},
+		{"*.lab.com", "tweety.lab.com", false},
+		{"*", "*.com", false},
+		{"*", "*", true},
+	}
+	for _, c := range cases {
+		if got := leq(c.a, c.b); got != c.want {
+			t.Errorf("%s ≤sn %s = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestPatternOrderProperties: ≤ is reflexive and transitive on both
+// pattern families, over generated patterns.
+func TestPatternOrderProperties(t *testing.T) {
+	genIP := func(n uint32) IPPattern {
+		parts := []string{"10", "20", "30", "40"}
+		wild := int(n % 5) // 0..4 trailing wildcards
+		s := ""
+		for i := 0; i < 4-wild; i++ {
+			s += parts[i]
+			if i < 3-wild {
+				s += "."
+			}
+		}
+		if wild > 0 {
+			if s != "" {
+				s += "."
+			}
+			s += "*"
+		}
+		return MustParseIPPattern(s)
+	}
+	for i := uint32(0); i < 5; i++ {
+		if !genIP(i).Leq(genIP(i)) {
+			t.Errorf("IP ≤ not reflexive for %s", genIP(i))
+		}
+		for j := uint32(0); j < 5; j++ {
+			for k := uint32(0); k < 5; k++ {
+				a, b, c := genIP(i), genIP(j), genIP(k)
+				if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+					t.Errorf("IP ≤ not transitive: %s %s %s", a, b, c)
+				}
+			}
+		}
+	}
+	f := func(hostIdx, domIdx uint8) bool {
+		doms := []string{"*", "*.com", "*.lab.com", "*.bld1.lab.com"}
+		hosts := []string{"x.bld1.lab.com", "y.lab.com", "z.com", "w.org"}
+		h := MustParseSNPattern(hosts[int(hostIdx)%len(hosts)])
+		d := MustParseSNPattern(doms[int(domIdx)%len(doms)])
+		// Reflexivity and antisymmetry sanity.
+		if !h.Leq(h) || !d.Leq(d) {
+			return false
+		}
+		if h.Leq(d) && d.Leq(h) {
+			return h.String() == d.String()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

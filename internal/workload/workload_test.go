@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/dtd"
+)
+
+func TestGenDocumentDeterministic(t *testing.T) {
+	cfg := DocConfig{Depth: 3, Fanout: 3, Attrs: 2, Seed: 5}
+	a := GenDocument(cfg)
+	b := GenDocument(cfg)
+	if a.String() != b.String() {
+		t.Error("same seed should generate the same document")
+	}
+	c := GenDocument(DocConfig{Depth: 3, Fanout: 3, Attrs: 2, Seed: 6})
+	if a.String() == c.String() {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenDocumentShape(t *testing.T) {
+	cfg := DocConfig{Depth: 2, Fanout: 3, Attrs: 2, Seed: 1}
+	doc := GenDocument(cfg)
+	root := doc.DocumentElement()
+	if root.Name != "root" || len(root.ChildElements()) != 3 {
+		t.Fatalf("root shape wrong: %s", doc.String())
+	}
+	// elements: 3 + 9 = 12, each with 2 attrs → 12 + 24 = 36 nodes.
+	if got := doc.CountNodes(); got != 37 { // +1 for root element itself... root has no attrs
+		// root (1, no attrs) + 12 elements + 24 attrs = 37
+		t.Errorf("CountNodes = %d, want 37", got)
+	}
+}
+
+func TestGeneratedDocumentValidatesGeneratedDTD(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := DocConfig{Depth: 2 + int(seed%3), Fanout: 2 + int(seed%3), Attrs: int(seed % 3), Seed: seed}
+		doc := GenDocument(cfg)
+		d := GenDTD(cfg)
+		if errs := d.Validate(doc, dtd.ValidateOptions{}); errs != nil {
+			t.Errorf("seed %d: generated document invalid against generated DTD: %v", seed, errs)
+		}
+	}
+}
+
+func TestGenDirectory(t *testing.T) {
+	cfg := PopConfig{Users: 20, Groups: 5, MaxMemberships: 2, Seed: 3}
+	d := GenDirectory(cfg)
+	if len(d.Users()) != 20 || len(d.Groups()) != 5 {
+		t.Errorf("population = %d users, %d groups", len(d.Users()), len(d.Groups()))
+	}
+	// Deterministic.
+	d2 := GenDirectory(cfg)
+	for _, u := range d.Users() {
+		g1 := d.DirectGroups(u)
+		g2 := d2.DirectGroups(u)
+		if len(g1) != len(g2) {
+			t.Fatalf("user %s memberships differ between runs", u)
+		}
+	}
+}
+
+func TestGenAuthsAddressTheDocument(t *testing.T) {
+	cfg := AuthConfig{N: 40, Doc: DocConfig{Depth: 3, Fanout: 3, Attrs: 2, Seed: 2}, PredicateFraction: 0.5, Seed: 9}.Norm()
+	doc := GenDocument(cfg.Doc)
+	inst, schema := GenAuths(cfg)
+	if len(inst)+len(schema) != 40 {
+		t.Fatalf("generated %d+%d auths, want 40", len(inst), len(schema))
+	}
+	nonEmpty := 0
+	for _, a := range append(inst, schema...) {
+		nodes, err := a.SelectNodes(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if len(nodes) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 20 {
+		t.Errorf("only %d/40 authorizations select any node — paths don't address the document", nonEmpty)
+	}
+}
+
+func TestGenAuthsLevelsAndTypes(t *testing.T) {
+	cfg := AuthConfig{N: 200, SchemaFraction: 0.5, WeakFraction: 0.5, Seed: 4}.Norm()
+	inst, schema := GenAuths(cfg)
+	if len(schema) == 0 || len(inst) == 0 {
+		t.Fatal("expected a mix of instance and schema auths")
+	}
+	for _, a := range schema {
+		if a.Type.IsWeak() {
+			t.Fatalf("weak authorization generated at schema level: %s", a)
+		}
+		if a.Object.URI != cfg.DTDURI {
+			t.Fatalf("schema auth with wrong URI: %s", a)
+		}
+	}
+	weak := 0
+	for _, a := range inst {
+		if a.Object.URI != cfg.URI {
+			t.Fatalf("instance auth with wrong URI: %s", a)
+		}
+		if a.Type.IsWeak() {
+			weak++
+		}
+	}
+	if weak == 0 {
+		t.Error("expected some weak instance authorizations")
+	}
+	// Loading the generated sets into a store must succeed.
+	s := authz.NewStore()
+	if err := s.AddAll(authz.InstanceLevel, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAll(authz.SchemaLevel, schema); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenRequesterDeterministic(t *testing.T) {
+	pop := PopConfig{Users: 10, Groups: 3}
+	a := GenRequester(pop, 7)
+	b := GenRequester(pop, 7)
+	if a != b {
+		t.Error("same seed should generate the same requester")
+	}
+	if _, err := a.Subject(); err != nil {
+		t.Errorf("generated requester invalid: %v", err)
+	}
+}

@@ -1,0 +1,210 @@
+package xpath
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Axis identifies a navigation axis.
+type Axis int
+
+// The thirteen XPath 1.0 axes minus namespace (out of scope, as in the
+// paper's XML 1.0 setting).
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisParent
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisSelf
+	AxisAttribute
+	AxisFollowingSibling
+	AxisPrecedingSibling
+	AxisFollowing
+	AxisPreceding
+)
+
+var axisNames = map[string]Axis{
+	"child":              AxisChild,
+	"descendant":         AxisDescendant,
+	"descendant-or-self": AxisDescendantOrSelf,
+	"parent":             AxisParent,
+	"ancestor":           AxisAncestor,
+	"ancestor-or-self":   AxisAncestorOrSelf,
+	"self":               AxisSelf,
+	"attribute":          AxisAttribute,
+	"following-sibling":  AxisFollowingSibling,
+	"preceding-sibling":  AxisPrecedingSibling,
+	"following":          AxisFollowing,
+	"preceding":          AxisPreceding,
+}
+
+// String returns the axis name as written in XPath.
+func (a Axis) String() string {
+	for n, ax := range axisNames {
+		if ax == a {
+			return n
+		}
+	}
+	return "axis?"
+}
+
+// NodeTestKind discriminates node tests.
+type NodeTestKind int
+
+// Node test kinds: a name test (possibly *), or one of the node-type
+// tests text(), comment(), processing-instruction(), node().
+const (
+	TestName    NodeTestKind = iota
+	TestAny                  // *
+	TestText                 // text()
+	TestComment              // comment()
+	TestPI                   // processing-instruction()
+	TestNode                 // node()
+)
+
+// NodeTest selects which nodes on an axis a step admits.
+type NodeTest struct {
+	Kind NodeTestKind
+	Name string // for TestName; for TestPI, the optional target literal
+}
+
+// Step is one location step: axis::test[pred1][pred2]...
+type Step struct {
+	Axis  Axis
+	Test  NodeTest
+	Preds []Expr
+}
+
+// Expr is a node of the expression AST. Evaluation returns one of the
+// four XPath 1.0 types (node-set, boolean, number, string), represented
+// by Value.
+type Expr interface {
+	eval(ctx *context) (Value, error)
+	String() string
+}
+
+// pathExpr is a location path: optional absolute prefix plus steps.
+// When filter is non-nil the path starts from a filter expression
+// (e.g. a function call) rather than the context node.
+type pathExpr struct {
+	absolute bool
+	filter   Expr
+	steps    []Step
+}
+
+// binaryExpr covers boolean, equality, relational and arithmetic
+// operators.
+type binaryExpr struct {
+	op   string // "or","and","=","!=","<","<=",">",">=","+","-","*","div","mod","|"
+	l, r Expr
+}
+
+// filterExpr applies predicates to a primary expression's node-set:
+// (//book)[1], id('x')[2]. Positions count in document order over the
+// whole set, unlike step predicates which count per context node.
+type filterExpr struct {
+	x     Expr
+	preds []Expr
+}
+
+type negExpr struct{ x Expr }
+
+type literalExpr struct{ s string }
+
+type numberExpr struct{ f float64 }
+
+type callExpr struct {
+	name string
+	args []Expr
+}
+
+func (s *Step) String() string {
+	var b strings.Builder
+	b.WriteString(s.Axis.String())
+	b.WriteString("::")
+	switch s.Test.Kind {
+	case TestName:
+		b.WriteString(s.Test.Name)
+	case TestAny:
+		b.WriteString("*")
+	case TestText:
+		b.WriteString("text()")
+	case TestComment:
+		b.WriteString("comment()")
+	case TestPI:
+		if s.Test.Name != "" {
+			b.WriteString("processing-instruction('" + s.Test.Name + "')")
+		} else {
+			b.WriteString("processing-instruction()")
+		}
+	case TestNode:
+		b.WriteString("node()")
+	}
+	for _, p := range s.Preds {
+		b.WriteString("[")
+		b.WriteString(p.String())
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+func (p *pathExpr) String() string {
+	var b strings.Builder
+	if p.filter != nil {
+		b.WriteString(p.filter.String())
+	}
+	if p.absolute {
+		b.WriteString("/")
+	}
+	for i, s := range p.steps {
+		if i > 0 || p.filter != nil {
+			b.WriteString("/")
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+func (e *binaryExpr) String() string {
+	return "(" + e.l.String() + " " + e.op + " " + e.r.String() + ")"
+}
+
+func (e *filterExpr) String() string {
+	var b strings.Builder
+	b.WriteString("(")
+	b.WriteString(e.x.String())
+	b.WriteString(")")
+	for _, p := range e.preds {
+		b.WriteString("[")
+		b.WriteString(p.String())
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+func (e *negExpr) String() string { return "-" + e.x.String() }
+
+func (e *literalExpr) String() string { return "'" + e.s + "'" }
+
+// String renders the literal in plain decimal notation: XPath's number
+// grammar has no exponent form, so the canonical output must not use
+// one (formatNumber's "1e+32" would not re-compile).
+func (e *numberExpr) String() string {
+	return strconv.FormatFloat(e.f, 'f', -1, 64)
+}
+
+func (e *callExpr) String() string {
+	var b strings.Builder
+	b.WriteString(e.name)
+	b.WriteString("(")
+	for i, a := range e.args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}

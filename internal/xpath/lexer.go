@@ -1,0 +1,313 @@
+// Package xpath implements the fragment of the W3C XPath 1.0 language
+// that the paper adopts for naming authorization objects (Section 4):
+// absolute and relative location paths, the abbreviated syntax (/, //,
+// ., .., @), the navigation axes (child, descendant, descendant-or-self,
+// parent, ancestor, ancestor-or-self, self, attribute, following-sibling,
+// preceding-sibling), node tests, positional and boolean predicates, the
+// union operator, and the XPath 1.0 core function library.
+//
+// Expressions are compiled once (Compile) and evaluated many times
+// against DOM trees; the security processor compiles the path expression
+// of every authorization when the authorization is loaded.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokSlash
+	tokDoubleSlash
+	tokDot
+	tokDotDot
+	tokAt
+	tokStar
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokComma
+	tokPipe
+	tokPlus
+	tokMinus
+	tokEq
+	tokNeq
+	tokLt
+	tokLte
+	tokGt
+	tokGte
+	tokAnd
+	tokOr
+	tokDiv
+	tokMod
+	tokAxis    // name followed by ::
+	tokName    // NCName (possibly an operator keyword, disambiguated)
+	tokFunc    // name followed by (
+	tokLiteral // quoted string
+	tokNumber
+	tokDollar
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	if t.text != "" {
+		return fmt.Sprintf("%q", t.text)
+	}
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	case tokNumber:
+		return fmt.Sprintf("%v", t.num)
+	default:
+		return fmt.Sprintf("token(%d)", int(t.kind))
+	}
+}
+
+// SyntaxError reports a lexical or grammatical error in an expression.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: %q at offset %d: %s", e.Expr, e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+	// prev is the previously emitted token, used to disambiguate
+	// operator keywords (and, or, div, mod) and '*' per XPath 1.0 §3.7.
+	prev *token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+		l.prev = &l.tokens[len(l.tokens)-1]
+	}
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Expr: l.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipWS() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\r', '\n':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+// precedesOperator reports whether, per the XPath disambiguation rule,
+// a name or '*' at the current position must be read as an operator:
+// that is the case when the preceding token is not an operator, '@',
+// '::', '(', '[', ',' or another operator.
+func (l *lexer) precedesOperator() bool {
+	if l.prev == nil {
+		return false
+	}
+	switch l.prev.kind {
+	case tokName, tokNumber, tokLiteral, tokRParen, tokRBracket, tokDot, tokDotDot:
+		return true
+	case tokStar:
+		// A node-test star (text "") is an operand; the
+		// multiplication operator star (text "*") is not.
+		return l.prev.text == ""
+	}
+	return false
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipWS()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch {
+	case two == "//":
+		l.pos += 2
+		return token{kind: tokDoubleSlash, pos: start}, nil
+	case c == '/':
+		l.pos++
+		return token{kind: tokSlash, pos: start}, nil
+	case two == "..":
+		l.pos += 2
+		return token{kind: tokDotDot, pos: start}, nil
+	case c == '.' && (l.pos+1 >= len(l.src) || !isDigit(l.src[l.pos+1])):
+		l.pos++
+		return token{kind: tokDot, pos: start}, nil
+	case c == '@':
+		l.pos++
+		return token{kind: tokAt, pos: start}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, pos: start}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '|':
+		l.pos++
+		return token{kind: tokPipe, pos: start}, nil
+	case c == '+':
+		l.pos++
+		return token{kind: tokPlus, pos: start}, nil
+	case c == '-':
+		l.pos++
+		return token{kind: tokMinus, pos: start}, nil
+	case c == '$':
+		l.pos++
+		return token{kind: tokDollar, pos: start}, nil
+	case two == "!=":
+		l.pos += 2
+		return token{kind: tokNeq, pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokEq, pos: start}, nil
+	case two == "<=":
+		l.pos += 2
+		return token{kind: tokLte, pos: start}, nil
+	case c == '<':
+		l.pos++
+		return token{kind: tokLt, pos: start}, nil
+	case two == ">=":
+		l.pos += 2
+		return token{kind: tokGte, pos: start}, nil
+	case c == '>':
+		l.pos++
+		return token{kind: tokGt, pos: start}, nil
+	case c == '*':
+		l.pos++
+		if l.precedesOperator() {
+			return token{kind: tokStar, text: "*", pos: start}, nil // multiplication handled in parser
+		}
+		return token{kind: tokStar, pos: start}, nil
+	case c == '"' || c == '\'':
+		l.pos++
+		i := strings.IndexByte(l.src[l.pos:], c)
+		if i < 0 {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		text := l.src[l.pos : l.pos+i]
+		l.pos += i + 1
+		return token{kind: tokLiteral, text: text, pos: start}, nil
+	case isDigit(c) || c == '.':
+		return l.number(start)
+	default:
+		return l.nameToken(start)
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) number(start int) (token, error) {
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	text := l.src[start:l.pos]
+	var v float64
+	if _, err := fmt.Sscanf(text, "%g", &v); err != nil {
+		return token{}, l.errf(start, "malformed number %q", text)
+	}
+	return token{kind: tokNumber, num: v, pos: start}, nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameRune(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}
+
+func (l *lexer) nameToken(start int) (token, error) {
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	if size == 0 || !isNameStart(r) {
+		return token{}, l.errf(start, "unexpected character %q", l.src[l.pos])
+	}
+	l.pos += size
+	for l.pos < len(l.src) {
+		r, size = utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isNameRune(r) {
+			break
+		}
+		l.pos += size
+	}
+	name := l.src[start:l.pos]
+
+	// Operator-keyword disambiguation (XPath 1.0 §3.7): if a name is
+	// preceded by an operand, it must be one of and/or/div/mod.
+	if l.precedesOperator() {
+		switch name {
+		case "and":
+			return token{kind: tokAnd, pos: start}, nil
+		case "or":
+			return token{kind: tokOr, pos: start}, nil
+		case "div":
+			return token{kind: tokDiv, pos: start}, nil
+		case "mod":
+			return token{kind: tokMod, pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected name %q after operand (missing operator?)", name)
+	}
+
+	save := l.pos
+	l.skipWS()
+	if strings.HasPrefix(l.src[l.pos:], "::") {
+		l.pos += 2
+		return token{kind: tokAxis, text: name, pos: start}, nil
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '(' {
+		// Function call or node-type test; the parser distinguishes.
+		return token{kind: tokFunc, text: name, pos: start}, nil
+	}
+	l.pos = save
+	return token{kind: tokName, text: name, pos: start}, nil
+}

@@ -1,0 +1,173 @@
+package xpath_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xmlsec/internal/xpath"
+
+	"xmlsec/internal/dom"
+	"xmlsec/internal/workload"
+)
+
+// TestDescendantCountMatchesWalk: //node() (plus the attribute axis)
+// covers exactly the nodes a manual walk finds, on random documents.
+func TestDescendantCountMatchesWalk(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		doc := workload.GenDocument(workload.DocConfig{
+			Depth: 2 + int(seed%3), Fanout: 2 + int(seed%2), Attrs: int(seed % 3), Seed: seed,
+		})
+		elems := 0
+		attrs := 0
+		texts := 0
+		doc.Walk(func(n *dom.Node) bool {
+			switch n.Type {
+			case dom.ElementNode:
+				elems++
+			case dom.AttributeNode:
+				attrs++
+			case dom.TextNode, dom.CDATANode:
+				texts++
+			}
+			return true
+		})
+		got, err := xpath.MustCompile("//*").SelectDoc(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != elems {
+			t.Errorf("seed %d: //* = %d, walk found %d elements", seed, len(got), elems)
+		}
+		gotA, err := xpath.MustCompile("//@*").SelectDoc(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotA) != attrs {
+			t.Errorf("seed %d: //@* = %d, walk found %d attrs", seed, len(gotA), attrs)
+		}
+		gotT, err := xpath.MustCompile("//text()").SelectDoc(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotT) != texts {
+			t.Errorf("seed %d: //text() = %d, walk found %d texts", seed, len(gotT), texts)
+		}
+	}
+}
+
+// TestAxisSymmetry: m is in n/descendant iff n is in m/ancestor, for
+// every element pair of a random document.
+func TestAxisSymmetry(t *testing.T) {
+	doc := workload.GenDocument(workload.DocConfig{Depth: 3, Fanout: 2, Seed: 5})
+	elems, err := xpath.MustCompile("//*").SelectDoc(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := xpath.MustCompile("descendant::*")
+	anc := xpath.MustCompile("ancestor::*")
+	for _, n := range elems {
+		ds, err := desc.Select(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ds {
+			as, err := anc.Select(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, a := range as {
+				if a == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s has descendant %s but not vice versa on ancestor axis", n.Path(), m.Path())
+			}
+		}
+	}
+}
+
+// TestUnionCommutative via testing/quick over pairs of expressions from
+// a fixed pool.
+func TestUnionCommutative(t *testing.T) {
+	doc := workload.GenDocument(workload.DocConfig{Depth: 3, Fanout: 3, Attrs: 1, Seed: 9})
+	pool := []string{"//*", "//e1x0", "//e2x1", "//@a0", "/root/e1x1", "//text()"}
+	f := func(i, j uint8) bool {
+		a := pool[int(i)%len(pool)]
+		b := pool[int(j)%len(pool)]
+		ab, err1 := xpath.MustCompile(a + "|" + b).SelectDoc(doc)
+		ba, err2 := xpath.MustCompile(b + "|" + a).SelectDoc(doc)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(ab) != len(ba) {
+			return false
+		}
+		for k := range ab {
+			if ab[k] != ba[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPredicateConjunction: [p][q] and [p and q] agree whenever p and q
+// are position-free.
+func TestPredicateConjunction(t *testing.T) {
+	doc := workload.GenDocument(workload.DocConfig{Depth: 3, Fanout: 3, Attrs: 2, Seed: 11})
+	pairs := [][2]string{
+		{"@a0='1'", "@a1='2'"},
+		{"@a0", "@a1='0'"},
+		{"count(*)>0", "@a0!='3'"},
+	}
+	for _, pq := range pairs {
+		chained, err := xpath.MustCompile("//*[" + pq[0] + "][" + pq[1] + "]").SelectDoc(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anded, err := xpath.MustCompile("//*[" + pq[0] + " and " + pq[1] + "]").SelectDoc(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chained) != len(anded) {
+			t.Fatalf("[%s][%s]: %d vs %d nodes", pq[0], pq[1], len(chained), len(anded))
+		}
+		for i := range chained {
+			if chained[i] != anded[i] {
+				t.Fatalf("[%s][%s]: node mismatch at %d", pq[0], pq[1], i)
+			}
+		}
+	}
+}
+
+// TestCompileDeterministic: compiling the same source twice yields the
+// same canonical form, and the canonical form re-compiles to itself.
+func TestCompileDeterministic(t *testing.T) {
+	exprs := []string{
+		"/a/b[@x='1']/c",
+		"//p[1]/following-sibling::q[last()]",
+		"count(//a) + sum(//b/@n) * 2",
+		"(//x)[3]",
+		"id('k')/y",
+	}
+	for _, e := range exprs {
+		p1 := xpath.MustCompile(e)
+		p2 := xpath.MustCompile(e)
+		if p1.String() != p2.String() {
+			t.Errorf("%q: nondeterministic canonical form", e)
+		}
+		p3, err := xpath.Compile(p1.String())
+		if err != nil {
+			t.Errorf("canonical form %q does not re-compile: %v", p1.String(), err)
+			continue
+		}
+		if p3.String() != p1.String() {
+			t.Errorf("canonical form not a fixed point: %q vs %q", p1.String(), p3.String())
+		}
+	}
+}

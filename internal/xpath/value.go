@@ -1,0 +1,152 @@
+package xpath
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xmlsec/internal/dom"
+)
+
+// ValueKind enumerates the four XPath 1.0 value types.
+type ValueKind int
+
+// XPath 1.0 value types.
+const (
+	NodeSetValue ValueKind = iota
+	BoolValue
+	NumberValue
+	StringValue
+)
+
+// Value is an XPath 1.0 value: exactly one of the four types.
+type Value struct {
+	Kind  ValueKind
+	Nodes []*dom.Node
+	Bool  bool
+	Num   float64
+	Str   string
+}
+
+// NodeSet wraps a node slice as a Value.
+func NodeSet(nodes []*dom.Node) Value { return Value{Kind: NodeSetValue, Nodes: nodes} }
+
+// Boolean wraps a bool as a Value.
+func Boolean(b bool) Value { return Value{Kind: BoolValue, Bool: b} }
+
+// Number wraps a float64 as a Value.
+func Number(f float64) Value { return Value{Kind: NumberValue, Num: f} }
+
+// String wraps a string as a Value.
+func String(s string) Value { return Value{Kind: StringValue, Str: s} }
+
+// StringValue returns the XPath string-value of a node (XPath 1.0 §5).
+func NodeString(n *dom.Node) string {
+	switch n.Type {
+	case dom.AttributeNode:
+		return n.Data
+	case dom.TextNode, dom.CDATANode, dom.CommentNode, dom.ProcessingInstructionNode:
+		return n.Data
+	default:
+		return n.Text()
+	}
+}
+
+// ToBool converts per the boolean() function rules.
+func (v Value) ToBool() bool {
+	switch v.Kind {
+	case NodeSetValue:
+		return len(v.Nodes) > 0
+	case BoolValue:
+		return v.Bool
+	case NumberValue:
+		return v.Num != 0 && !math.IsNaN(v.Num)
+	case StringValue:
+		return v.Str != ""
+	}
+	return false
+}
+
+// ToNumber converts per the number() function rules.
+func (v Value) ToNumber() float64 {
+	switch v.Kind {
+	case NodeSetValue:
+		return stringToNumber(v.ToString())
+	case BoolValue:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	case NumberValue:
+		return v.Num
+	case StringValue:
+		return stringToNumber(v.Str)
+	}
+	return math.NaN()
+}
+
+// ToString converts per the string() function rules.
+func (v Value) ToString() string {
+	switch v.Kind {
+	case NodeSetValue:
+		if len(v.Nodes) == 0 {
+			return ""
+		}
+		return NodeString(v.Nodes[0])
+	case BoolValue:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	case NumberValue:
+		return formatNumber(v.Num)
+	case StringValue:
+		return v.Str
+	}
+	return ""
+}
+
+func stringToNumber(s string) float64 {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return math.NaN()
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
+}
+
+// formatNumber renders a float per XPath's string() rules: integers
+// without a decimal point, NaN as "NaN", infinities as "Infinity".
+func formatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatInt(int64(f), 10)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// sortDocOrder sorts a node slice in document order and removes
+// duplicates, in place; it returns the deduplicated slice.
+func sortDocOrder(nodes []*dom.Node) []*dom.Node {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Order < nodes[j].Order })
+	out := nodes[:0]
+	var prev *dom.Node
+	for _, n := range nodes {
+		if n != prev {
+			out = append(out, n)
+		}
+		prev = n
+	}
+	return out
+}
