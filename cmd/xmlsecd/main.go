@@ -8,8 +8,13 @@
 // Endpoints:
 //
 //	GET /docs/<uri>  view of the document for the authenticated requester
+//	PUT /docs/<uri>  update through the view (write authority)
+//	GET /query/<uri> XPath query over the view (?q=<expr>)
 //	GET /dtds/<uri>  loosened DTD
 //	GET /healthz     liveness
+//	GET /metrics     Prometheus text exposition (stage latencies, HTTP
+//	                 counters, cache and store gauges)
+//	GET /statz       the same metrics as a JSON snapshot
 //
 // Requesters authenticate with HTTP Basic credentials from users.conf;
 // requests without credentials are served as "anonymous".
@@ -59,7 +64,7 @@ func main() {
 		site.SetAuditLog(f)
 	}
 
-	log.Printf("xmlsecd: %d documents, %d users, %d authorizations; listening on %s",
+	log.Printf("xmlsecd: %d documents, %d users, %d authorizations; listening on %s (metrics at /metrics, /statz)",
 		len(site.Docs.URIs()), site.Users.Len(), site.Auths.Len(), *addr)
 	srv := &http.Server{
 		Addr:              *addr,

@@ -10,6 +10,7 @@
 //	xsbench -exp all            run everything
 //	xsbench -exp fig3           one experiment: fig1 fig3 loosen online
 //	                            pipeline conflict subjects xpath cache
+//	                            stages
 //	xsbench -exp online -quick  smaller sweeps
 package main
 
@@ -35,7 +36,7 @@ import (
 var quick bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages all")
 	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
 	flag.Parse()
 
@@ -49,8 +50,9 @@ func main() {
 		"subjects": expSubjects,
 		"xpath":    expXPath,
 		"cache":    expCache,
+		"stages":   expStages,
 	}
-	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache"}
+	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages"}
 
 	var names []string
 	if *exp == "all" {
@@ -474,35 +476,38 @@ func expXPath() error {
 	return nil
 }
 
+// mkLabSite assembles the paper's example site for the server-side
+// experiments (cache ablation, stage breakdown).
+func mkLabSite() (*server.Site, error) {
+	site := server.NewSite()
+	site.Directory = labexample.Directory()
+	site.Engine.Hierarchy.Dir = site.Directory
+	if err := site.Docs.AddDTD(labexample.DTDURI, labexample.DTDSource); err != nil {
+		return nil, err
+	}
+	if err := site.Docs.AddDocument(labexample.DocURI, labexample.DocSource); err != nil {
+		return nil, err
+	}
+	for i, tuple := range labexample.AuthTuples {
+		level := authz.InstanceLevel
+		if i == 0 {
+			level = authz.SchemaLevel
+		}
+		if err := site.Auths.Add(level, authz.MustParse(tuple)); err != nil {
+			return nil, err
+		}
+	}
+	return site, nil
+}
+
 // expCache — extension ablation: the server's per-requester view cache
 // against recomputing every request.
 func expCache() error {
-	mkSite := func() (*server.Site, error) {
-		site := server.NewSite()
-		site.Directory = labexample.Directory()
-		site.Engine.Hierarchy.Dir = site.Directory
-		if err := site.Docs.AddDTD(labexample.DTDURI, labexample.DTDSource); err != nil {
-			return nil, err
-		}
-		if err := site.Docs.AddDocument(labexample.DocURI, labexample.DocSource); err != nil {
-			return nil, err
-		}
-		for i, tuple := range labexample.AuthTuples {
-			level := authz.InstanceLevel
-			if i == 0 {
-				level = authz.SchemaLevel
-			}
-			if err := site.Auths.Add(level, authz.MustParse(tuple)); err != nil {
-				return nil, err
-			}
-		}
-		return site, nil
-	}
-	plain, err := mkSite()
+	plain, err := mkLabSite()
 	if err != nil {
 		return err
 	}
-	cached, err := mkSite()
+	cached, err := mkLabSite()
 	if err != nil {
 		return err
 	}
@@ -523,6 +528,59 @@ func expCache() error {
 	fmt.Printf("%-22s %-12s (x%.0f; %d hits / %d misses)\n",
 		"view cache", withCache, float64(noCache)/float64(withCache), hits, misses)
 	fmt.Println("(cache keys: requester triple + document, invalidated by store generations)")
+	return nil
+}
+
+// expStages — the observability subsystem: drive the full processor in
+// fully on-line mode (parse-per-request + view validation, so every
+// cycle stage runs) and print the per-stage timing breakdown from the
+// site's metric registry — the same histograms GET /metrics exposes.
+func expStages() error {
+	site, err := mkLabSite()
+	if err != nil {
+		return err
+	}
+	site.ParsePerRequest = true
+	site.ValidateViews = true
+	requesters := []subjects.Requester{
+		labexample.Tom,
+		{User: "Sam", IP: "130.89.56.8", Host: "adminhost.lab.com"},
+		{User: "anonymous", IP: "200.1.2.3", Host: "outside.example.com"},
+	}
+	n := 300
+	if quick {
+		n = 60
+	}
+	for i := 0; i < n; i++ {
+		if _, err := site.Process(requesters[i%len(requesters)], labexample.DocURI); err != nil {
+			return err
+		}
+	}
+	snap := site.Metrics().Snapshot()
+	stage := snap.Metric("xmlsec_stage_duration_seconds")
+	if stage == nil {
+		return fmt.Errorf("stage histograms missing from the registry")
+	}
+	fmt.Printf("%d fully on-line cycles over %s; per-stage latency from the metric registry:\n\n",
+		n, labexample.DocURI)
+	fmt.Printf("%-10s %-8s %-12s %-12s %-12s %-12s\n", "stage", "count", "total", "mean", "p50", "p95")
+	var cycle time.Duration
+	for _, st := range []string{"parse", "label", "prune", "validate", "unparse"} {
+		s := stage.Find("stage", st)
+		if s == nil || s.Histogram == nil {
+			continue
+		}
+		h := s.Histogram
+		mean := time.Duration(h.Mean() * float64(time.Second))
+		cycle += mean
+		fmt.Printf("%-10s %-8d %-12s %-12s %-12s %-12s\n", st, h.Count,
+			time.Duration(h.Sum*float64(time.Second)).Round(time.Microsecond),
+			mean.Round(time.Microsecond),
+			time.Duration(h.Quantile(0.5)*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.95)*float64(time.Second)).Round(time.Microsecond))
+	}
+	fmt.Printf("\nsum of stage means: %s per request (quantiles are bucket-interpolated;\n", cycle.Round(time.Microsecond))
+	fmt.Println(" the same histograms back the daemon's GET /metrics and /statz endpoints)")
 	return nil
 }
 

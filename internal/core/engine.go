@@ -23,6 +23,30 @@ type Engine struct {
 
 	mu       sync.RWMutex
 	policies map[string]Policy // per-document URI
+	stages   StageObserver
+}
+
+// StageObserver receives the duration of each named stage of the
+// processor's execution cycle. ComputeView reports "label" and "prune";
+// callers running the surrounding stages (parse, validate, unparse)
+// report those themselves. Implementations must be safe for concurrent
+// use.
+type StageObserver interface {
+	ObserveStage(stage string, d time.Duration)
+}
+
+// SetStageObserver installs (or, with nil, removes) the engine's stage
+// observer. Safe to call concurrently with ComputeView.
+func (e *Engine) SetStageObserver(o StageObserver) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stages = o
+}
+
+func (e *Engine) stageObserver() StageObserver {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stages
 }
 
 // NewEngine builds an engine over a directory and a store with the
@@ -114,14 +138,23 @@ type View struct {
 // and schema level, labels a copy of the document tree by recursive
 // propagation, and prunes it. The input document is not modified.
 func (e *Engine) ComputeView(req Request, doc *dom.Document) (*View, error) {
+	obs := e.stageObserver()
 	work, origin := doc.CloneWithMap()
+	start := time.Now()
 	lb, stats, err := e.Label(req, work)
 	if err != nil {
 		return nil, err
 	}
+	if obs != nil {
+		obs.ObserveStage("label", time.Since(start))
+	}
 	pol := e.PolicyFor(req.URI)
+	start = time.Now()
 	PruneDoc(work, lb, pol)
 	stats.Kept = work.CountNodes()
+	if obs != nil {
+		obs.ObserveStage("prune", time.Since(start))
+	}
 	return &View{Doc: work, Labeling: lb, Origin: origin, Stats: stats}, nil
 }
 

@@ -1,0 +1,126 @@
+package obs
+
+import "math"
+
+// Snapshot is a point-in-time copy of every registered metric, shaped
+// for JSON encoding (the server's /statz endpoint).
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one metric family with all its series.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one label combination of a metric. Value carries
+// counter/gauge readings; Histogram is set for histograms.
+type SeriesSnapshot struct {
+	Labels    []Label            `json:"labels,omitempty"`
+	Value     float64            `json:"value"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// HistogramSnapshot is a histogram state with cumulative bucket counts.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Bucket is one cumulative histogram bucket: Count observations were
+// ≤ the upper bound. LE is the bound's exposition form ("+Inf" for the
+// last bucket); Bound is the same value numerically, kept out of JSON
+// because +Inf has no JSON encoding.
+type Bucket struct {
+	LE    string  `json:"le"`
+	Count uint64  `json:"count"`
+	Bound float64 `json:"-"`
+}
+
+// Mean returns the average observation, or 0 for an empty histogram.
+func (h *HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket containing the rank, the same estimate Prometheus's
+// histogram_quantile computes. Observations in the +Inf bucket clamp to
+// the highest finite bound.
+func (h *HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	prevBound, prevCum := 0.0, uint64(0)
+	for _, b := range h.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.Bound, 1) || b.Count == prevCum {
+				return prevBound
+			}
+			return prevBound + (b.Bound-prevBound)*(rank-float64(prevCum))/float64(b.Count-prevCum)
+		}
+		prevBound, prevCum = b.Bound, b.Count
+	}
+	return prevBound
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	snap := Snapshot{Metrics: make([]MetricSnapshot, 0, len(fams))}
+	for _, f := range fams {
+		m := MetricSnapshot{Name: f.name, Type: f.typ, Help: f.help}
+		for _, s := range f.collect() {
+			m.Series = append(m.Series, SeriesSnapshot{Labels: s.labels, Value: s.value, Histogram: s.hist})
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	return snap
+}
+
+// Metric returns the named family from the snapshot, or nil.
+func (s Snapshot) Metric(name string) *MetricSnapshot {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			return &s.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Find returns the first series whose labels include every given
+// name/value pair, or nil.
+func (m *MetricSnapshot) Find(pairs ...string) *SeriesSnapshot {
+	if m == nil {
+		return nil
+	}
+next:
+	for i := range m.Series {
+		for p := 0; p+1 < len(pairs); p += 2 {
+			if !hasLabel(m.Series[i].Labels, pairs[p], pairs[p+1]) {
+				continue next
+			}
+		}
+		return &m.Series[i]
+	}
+	return nil
+}
+
+func hasLabel(labels []Label, name, value string) bool {
+	for _, l := range labels {
+		if l.Name == name && l.Value == value {
+			return true
+		}
+	}
+	return false
+}

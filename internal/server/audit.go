@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xmlsec/internal/core"
@@ -37,9 +38,19 @@ type AuditRecord struct {
 
 // auditor serializes audit records as JSON lines to a writer.
 type auditor struct {
-	mu  sync.Mutex
-	w   io.Writer
-	now func() time.Time
+	mu      sync.Mutex
+	w       io.Writer
+	now     func() time.Time
+	records atomic.Uint64
+}
+
+// Records returns the number of audit records written; nil-safe so the
+// metrics layer can read it whether or not auditing is enabled.
+func (a *auditor) Records() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.records.Load()
 }
 
 // SetAuditLog directs the site's audit trail to w (JSON lines). Pass
@@ -61,6 +72,7 @@ func (a *auditor) log(rec AuditRecord) {
 	if err != nil {
 		return // an unmarshalable record must not break serving
 	}
+	a.records.Add(1)
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	_, _ = a.w.Write(append(b, '\n'))

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"net/http"
 	"sync"
 	"testing"
 
@@ -55,6 +56,57 @@ func TestConcurrentProcess(t *testing.T) {
 			}
 		}
 	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentCachedViewImmutability pins that the documents behind
+// cached ProcessResult.View entries are never mutated by concurrent
+// /docs/ reads and /query/ evaluations on the same cache entry. Since
+// QueryDoc obtains its view through Process, both endpoints share one
+// cached *core.View per requester triple: any write to that shared tree
+// shows up here as a -race report or as a response that drifts from the
+// baseline.
+func TestConcurrentCachedViewImmutability(t *testing.T) {
+	site := labSite(t).EnableViewCache(8)
+	h := site.Handler()
+
+	const doc = "/docs/CSlab.xml"
+	const query = "/query/CSlab.xml?q=//title"
+	_, wantDoc := get(t, h, doc, "Tom", "pw-tom", "130.100.50.8")
+	_, wantQuery := get(t, h, query, "Tom", "pw-tom", "130.100.50.8")
+	if hits, _ := site.CacheStats(); hits == 0 {
+		t.Fatal("the two baseline requests should share one cache entry")
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var path, want string
+				if (g+i)%2 == 0 {
+					path, want = doc, wantDoc
+				} else {
+					path, want = query, wantQuery
+				}
+				code, body := get(t, h, path, "Tom", "pw-tom", "130.100.50.8")
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("%s: HTTP %d", path, code)
+					return
+				}
+				if body != want {
+					errs <- fmt.Errorf("%s: response drifted from baseline:\n got: %s\nwant: %s", path, body, want)
+					return
+				}
+			}
+		}(g)
+	}
 	wg.Wait()
 	close(errs)
 	for err := range errs {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -9,7 +10,12 @@ import (
 	"strings"
 
 	"xmlsec/internal/dom"
+	"xmlsec/internal/xpath"
 )
+
+// defaultMaxUpdateBytes bounds PUT bodies when Site.MaxUpdateBytes is
+// unset.
+const defaultMaxUpdateBytes = 16 << 20
 
 // Handler exposes the site over HTTP:
 //
@@ -18,12 +24,18 @@ import (
 //	GET /query/<uri>?q=<xp>   — XPath query over the requester's view
 //	GET /dtds/<uri>           — the loosened DTD (never the original)
 //	GET /healthz              — liveness probe
+//	GET /metrics              — Prometheus text exposition
+//	GET /statz                — metrics snapshot as JSON
 //
 // Identification uses HTTP Basic authentication against the site's
 // UserDB; requests without credentials proceed as "anonymous". The
 // requester's IP is taken from the connection and its symbolic name
 // from the site's resolver, completing the paper's subject triple.
+//
+// Every request is recorded in the site's metric registry (count,
+// latency, and status by route); see Metrics().
 func (s *Site) Handler() http.Handler {
+	s.initMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /docs/", s.handleDoc)
 	mux.HandleFunc("PUT /docs/", s.handleUpdate)
@@ -33,7 +45,9 @@ func (s *Site) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return s.instrument(mux)
 }
 
 // authenticate resolves the requesting user. The bool result is false
@@ -52,11 +66,17 @@ func (s *Site) authenticate(r *http.Request) (string, bool) {
 func (s *Site) peerIP(r *http.Request) string {
 	if s.TrustForwardedFor {
 		if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
-			// Use the first (client) address of the chain.
+			// Use the first (client) address of the chain — but only
+			// if it actually is an address. The header is an
+			// access-control input (location patterns match against
+			// it), so a garbage or spoofed value must not flow into
+			// pattern matching; fall back to the connection's peer.
 			if i := strings.IndexByte(fwd, ','); i >= 0 {
 				fwd = fwd[:i]
 			}
-			return strings.TrimSpace(fwd)
+			if ip := net.ParseIP(strings.TrimSpace(fwd)); ip != nil {
+				return ip.String()
+			}
 		}
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
@@ -99,8 +119,21 @@ func (s *Site) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	uri := strings.TrimPrefix(r.URL.Path, "/docs/")
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	limit := s.MaxUpdateBytes
+	if limit <= 0 {
+		limit = defaultMaxUpdateBytes
+	}
+	// MaxBytesReader (unlike a bare LimitReader) fails the read when
+	// the body exceeds the limit, so an oversized document is rejected
+	// outright instead of being parsed as a corrupt prefix.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "reading body", http.StatusBadRequest)
 		return
 	}
@@ -138,7 +171,16 @@ func (s *Site) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	case err != nil:
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		// Only a malformed expression is the client's fault; anything
+		// else is an internal failure whose detail (engine internals,
+		// store state) must not reach the client.
+		var se *xpath.SyntaxError
+		if errors.As(err, &se) {
+			http.Error(w, se.Error(), http.StatusBadRequest)
+			return
+		}
+		log.Printf("server: %s querying %q: %v", rq, uri, err)
+		http.Error(w, "internal error", http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")

@@ -139,6 +139,104 @@ func TestHTTPForwardedFor(t *testing.T) {
 	}
 }
 
+// TestHTTPForwardedForInvalid pins the X-Forwarded-For validation: a
+// value that is not an IP address must not flow into location-pattern
+// matching; the connection's peer address is used instead.
+func TestHTTPForwardedForInvalid(t *testing.T) {
+	site := labSite(t)
+	site.TrustForwardedFor = true
+	site.Resolver.(*StaticResolver).Add("130.89.56.8", "adminhost.lab.com")
+	h := site.Handler()
+
+	// Garbage header, connection from the admin host: the fallback to
+	// the peer address must keep Sam's location-dependent grant.
+	req := httptest.NewRequest(http.MethodGet, "/docs/CSlab.xml", nil)
+	req.RemoteAddr = "130.89.56.8:40000"
+	req.Header.Set("X-Forwarded-For", `not-an-ip" OR 1=1`)
+	req.SetBasicAuth("Sam", "pw-sam")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("garbage XFF: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "Security Markup") {
+		t.Errorf("garbage XFF should fall back to the peer address (grant kept):\n%s", rec.Body.String())
+	}
+
+	// Garbage header, connection from elsewhere: no grant, and no
+	// internal error from pattern-matching a non-address.
+	req = httptest.NewRequest(http.MethodGet, "/docs/CSlab.xml", nil)
+	req.RemoteAddr = "200.9.9.9:40000"
+	req.Header.Set("X-Forwarded-For", "adminhost.lab.com")
+	req.SetBasicAuth("Sam", "pw-sam")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || strings.Contains(rec.Body.String(), "Security Markup") {
+		t.Errorf("spoofed XFF hostname: HTTP %d, grant leaked=%v",
+			rec.Code, strings.Contains(rec.Body.String(), "Security Markup"))
+	}
+}
+
+// TestHTTPUpdateTooLarge pins the 413 on oversized PUT bodies: before
+// the fix, io.LimitReader silently truncated the body at the limit and
+// the document was parsed as a corrupt prefix.
+func TestHTTPUpdateTooLarge(t *testing.T) {
+	site := labSite(t)
+	site.MaxUpdateBytes = 1024
+	h := site.Handler()
+
+	big := "<laboratory>" + strings.Repeat("<x/>", 1024) + "</laboratory>"
+	req := httptest.NewRequest(http.MethodPut, "/docs/CSlab.xml", strings.NewReader(big))
+	req.RemoteAddr = "130.89.56.8:40000"
+	req.SetBasicAuth("Sam", "pw-sam")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized PUT: HTTP %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+
+	// A body within the limit still reaches the normal update path.
+	req = httptest.NewRequest(http.MethodPut, "/docs/CSlab.xml", strings.NewReader("<laboratory/>"))
+	req.RemoteAddr = "130.89.56.8:40000"
+	req.SetBasicAuth("Sam", "pw-sam")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code == http.StatusRequestEntityTooLarge {
+		t.Errorf("small PUT should not hit the size limit: HTTP %d", rec.Code)
+	}
+}
+
+// TestHTTPQueryErrors pins the query error mapping: malformed XPath is
+// 400 with the syntax error, anything else is a generic 500 that leaks
+// no internal detail.
+func TestHTTPQueryErrors(t *testing.T) {
+	site := labSite(t)
+	h := site.Handler()
+
+	code, body := get(t, h, "/query/CSlab.xml?q=%2F%2F%2F", "Tom", "pw-tom", "130.100.50.8")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad XPath: HTTP %d, want 400: %s", code, body)
+	}
+	if !strings.Contains(body, "xpath") {
+		t.Errorf("400 should carry the syntax error: %q", body)
+	}
+
+	// An unparseable peer address makes the requester's subject triple
+	// invalid deep inside the engine — an internal failure, not a
+	// client error, and its detail must not reach the response.
+	req := httptest.NewRequest(http.MethodGet, "/query/CSlab.xml?q=//title", nil)
+	req.RemoteAddr = "bogus-peer"
+	req.SetBasicAuth("Tom", "pw-tom")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("internal query error: HTTP %d, want 500: %s", rec.Code, rec.Body.String())
+	}
+	if body := rec.Body.String(); strings.Contains(body, "subjects:") || strings.Contains(body, "bogus-peer") {
+		t.Errorf("500 body leaks internal detail: %q", body)
+	}
+}
+
 func TestHTTPHealthz(t *testing.T) {
 	site := labSite(t)
 	code, body := get(t, site.Handler(), "/healthz", "", "", "1.1.1.1")

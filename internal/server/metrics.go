@@ -1,0 +1,177 @@
+package server
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"xmlsec/internal/obs"
+)
+
+// stages of the paper's execution cycle, in order. "label" and "prune"
+// are reported by the engine; "parse" (under ParsePerRequest),
+// "validate" (under ValidateViews), and "unparse" by Site.Process.
+var cycleStages = []string{"parse", "label", "prune", "validate", "unparse"}
+
+// siteMetrics holds the site's registry and the families the hot path
+// writes to directly; everything read-on-scrape (cache stats, store
+// generations, audit volume) registers as a Func metric instead.
+type siteMetrics struct {
+	reg       *obs.Registry
+	stage     *obs.HistogramVec // stage
+	httpReqs  *obs.CounterVec   // route, status
+	httpDur   *obs.HistogramVec // route
+	processed *obs.CounterVec   // outcome
+}
+
+// Metrics returns the site's metric registry, initializing it on first
+// use. The registry is also reachable over HTTP: Handler() serves it at
+// GET /metrics (Prometheus text exposition) and GET /statz (JSON).
+func (s *Site) Metrics() *obs.Registry {
+	s.initMetrics()
+	return s.metrics.reg
+}
+
+func (s *Site) initMetrics() {
+	s.metricsOnce.Do(func() {
+		reg := obs.NewRegistry()
+		m := &siteMetrics{reg: reg}
+		m.stage = reg.NewHistogramVec("xmlsec_stage_duration_seconds",
+			"Latency of each stage of the security processor's execution cycle (parse, label, prune, validate, unparse).",
+			obs.DefStageBuckets, "stage")
+		for _, st := range cycleStages {
+			m.stage.With(st) // materialize all stages so /metrics always lists them
+		}
+		m.httpReqs = reg.NewCounterVec("xmlsec_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "status")
+		m.httpDur = reg.NewHistogramVec("xmlsec_http_request_duration_seconds",
+			"HTTP request latency, by route.", obs.DefLatencyBuckets, "route")
+		m.processed = reg.NewCounterVec("xmlsec_process_total",
+			"Security-processor cycles, by outcome (ok, not-found, error).", "outcome")
+		reg.NewCounterFunc("xmlsec_view_cache_hits_total",
+			"View-cache hits (0 when the cache is disabled).", func() float64 {
+				hits, _ := s.CacheStats()
+				return float64(hits)
+			})
+		reg.NewCounterFunc("xmlsec_view_cache_misses_total",
+			"View-cache misses (0 when the cache is disabled).", func() float64 {
+				_, misses := s.CacheStats()
+				return float64(misses)
+			})
+		reg.NewCounterFunc("xmlsec_audit_records_total",
+			"Audit records written since startup.", func() float64 {
+				return float64(s.audit.Records())
+			})
+		reg.NewGaugeFunc("xmlsec_authz_generation",
+			"Authorization-store generation; changes whenever the policy changes.", func() float64 {
+				if s.Auths == nil {
+					return 0
+				}
+				return float64(s.Auths.Generation())
+			})
+		reg.NewGaugeFunc("xmlsec_docstore_generation",
+			"Document-store generation; changes whenever registered content changes.", func() float64 {
+				if s.Docs == nil {
+					return 0
+				}
+				return float64(s.Docs.Generation())
+			})
+		reg.NewGaugeFunc("xmlsec_documents",
+			"Documents registered at the site.", func() float64 {
+				if s.Docs == nil {
+					return 0
+				}
+				return float64(len(s.Docs.URIs()))
+			})
+		s.metrics = m
+		if s.Engine != nil {
+			s.Engine.SetStageObserver(stageRecorder{m.stage})
+		}
+	})
+}
+
+// stageRecorder adapts the stage histogram family to core.StageObserver.
+type stageRecorder struct{ h *obs.HistogramVec }
+
+func (r stageRecorder) ObserveStage(stage string, d time.Duration) {
+	r.h.With(stage).Observe(d.Seconds())
+}
+
+// observeStage records one Site-level stage duration (the engine
+// reports its own stages through the same family).
+func (s *Site) observeStage(stage string, start time.Time) {
+	s.metrics.stage.With(stage).ObserveSince(start)
+}
+
+// handleMetrics serves GET /metrics: the registry in Prometheus text
+// exposition format.
+func (s *Site) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.TextContentType)
+	if err := s.Metrics().WritePrometheus(w); err != nil {
+		log.Printf("server: writing /metrics: %v", err)
+	}
+}
+
+// handleStatz serves GET /statz: the same registry as a JSON snapshot
+// for humans and non-Prometheus tooling.
+func (s *Site) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Metrics().Snapshot()); err != nil {
+		log.Printf("server: writing /statz: %v", err)
+	}
+}
+
+// instrument wraps the site's mux, recording request count, status, and
+// latency per route.
+func (s *Site) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		route := routeOf(r.URL.Path)
+		s.metrics.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
+		s.metrics.httpDur.With(route).ObserveSince(start)
+	})
+}
+
+// routeOf buckets request paths into the mux's route patterns so the
+// per-route label stays low-cardinality no matter what clients send.
+func routeOf(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/docs/"):
+		return "/docs/"
+	case strings.HasPrefix(path, "/query/"):
+		return "/query/"
+	case strings.HasPrefix(path, "/dtds/"):
+		return "/dtds/"
+	case path == "/healthz", path == "/metrics", path == "/statz":
+		return path
+	default:
+		return "other"
+	}
+}
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.status = code
+		w.wroteHeader = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wroteHeader = true
+	return w.ResponseWriter.Write(b)
+}

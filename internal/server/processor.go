@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"xmlsec/internal/authz"
 	"xmlsec/internal/core"
@@ -50,6 +52,16 @@ type Site struct {
 	// see SetAuditLog.
 	audit *auditor
 
+	// metrics holds the site's observability registry, built lazily so
+	// zero-constructed Sites work too; see Metrics().
+	metricsOnce sync.Once
+	metrics     *siteMetrics
+
+	// MaxUpdateBytes bounds PUT /docs/ request bodies; ≤0 selects the
+	// 16 MiB default. Oversized uploads are rejected with 413 rather
+	// than silently truncated.
+	MaxUpdateBytes int64
+
 	// TrustForwardedFor derives the requester's IP from the
 	// X-Forwarded-For header instead of the connection's peer address.
 	// Location patterns are an access-control input here, so enable
@@ -63,7 +75,7 @@ type Site struct {
 func NewSite() *Site {
 	dir := subjects.NewDirectory()
 	auths := authz.NewStore()
-	return &Site{
+	s := &Site{
 		Directory: dir,
 		Users:     NewUserDB(),
 		Auths:     auths,
@@ -71,6 +83,8 @@ func NewSite() *Site {
 		Resolver:  NewStaticResolver(),
 		Engine:    core.NewEngine(dir, auths),
 	}
+	s.initMetrics() // wire the engine's stage observer before serving
+	return s
 }
 
 // LoadXACL parses an XACL document and installs its authorizations at
@@ -110,12 +124,21 @@ type ProcessResult struct {
 // The returned view references the loosened DTD, never the original.
 // An empty view returns ErrNotFound.
 func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, err error) {
+	s.initMetrics()
 	defer func() {
 		var v *core.View
 		if res != nil {
 			v = res.View
 		}
 		s.auditRead(rq, uri, v, err)
+		switch {
+		case err == nil:
+			s.metrics.processed.With("ok").Inc()
+		case isNotFound(err):
+			s.metrics.processed.With("not-found").Inc()
+		default:
+			s.metrics.processed.With("error").Inc()
+		}
 	}()
 	sd := s.Docs.Doc(uri)
 	if sd == nil {
@@ -134,6 +157,7 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 	}
 	doc := sd.Doc
 	if s.ParsePerRequest {
+		start := time.Now()
 		res, err := xmlparse.Parse(sd.Source, xmlparse.Options{
 			Loader:        storeLoader{s.Docs},
 			ApplyDefaults: true,
@@ -141,6 +165,7 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 		if err != nil {
 			return nil, fmt.Errorf("server: re-parsing %q: %w", uri, err)
 		}
+		s.observeStage("parse", start)
 		doc = res.Doc
 	}
 	req := core.Request{Requester: rq, URI: uri, DTDURI: sd.DTDURI}
@@ -152,6 +177,7 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 		return nil, ErrNotFound
 	}
 	if s.ValidateViews && sd.DTDURI != "" {
+		start := time.Now()
 		loose := s.Docs.Loosened(sd.DTDURI)
 		if loose == nil {
 			return nil, fmt.Errorf("server: document %q references unregistered DTD %q", uri, sd.DTDURI)
@@ -159,7 +185,9 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 		if errs := loose.Validate(view.Doc, dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
 			return nil, fmt.Errorf("server: view of %q violates the loosened DTD: %w", uri, errs)
 		}
+		s.observeStage("validate", start)
 	}
+	start := time.Now()
 	var b strings.Builder
 	err = view.Doc.Write(&b, dom.WriteOptions{
 		Indent: "  ",
@@ -170,6 +198,7 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 	if err != nil {
 		return nil, err
 	}
+	s.observeStage("unparse", start)
 	out := &ProcessResult{View: view, XML: b.String(), DTDURI: sd.DTDURI}
 	if useCache {
 		s.cache.put(key, out)

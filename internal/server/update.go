@@ -10,6 +10,7 @@ import (
 	"xmlsec/internal/dtd"
 	"xmlsec/internal/subjects"
 	"xmlsec/internal/xmlparse"
+	"xmlsec/internal/xpath"
 )
 
 // ErrForbidden is returned when a requester holds some access to a
@@ -115,20 +116,23 @@ func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) 
 // document (the paper's "requests in form of generic queries" future
 // work) and returns the query result document. Queries run on the
 // view, never the original, so they cannot observe protected content.
+//
+// The view is obtained through Process, so queries share the site's
+// per-requester view cache with document reads. Query evaluation is
+// strictly read-only over the cached view (result nodes are cloned),
+// which keeps the sharing sound under concurrency; a regression test
+// pins this under -race.
 func (s *Site) QueryDoc(rq subjects.Requester, uri, expr string) (*dom.Document, error) {
-	sd := s.Docs.Doc(uri)
-	if sd == nil {
-		return nil, ErrNotFound
+	// Compile first: a malformed expression is the client's fault and
+	// must fail before it costs a view computation.
+	if _, err := xpath.Compile(expr); err != nil {
+		return nil, err
 	}
-	req := core.Request{Requester: rq, URI: uri, DTDURI: sd.DTDURI}
-	view, err := s.Engine.ComputeView(req, sd.Doc)
+	res, err := s.Process(rq, uri)
 	if err != nil {
 		return nil, err
 	}
-	if view.Doc.DocumentElement() == nil {
-		return nil, ErrNotFound
-	}
-	return view.QueryResult(expr)
+	return res.View.QueryResult(expr)
 }
 
 // GrantWrite installs a write authorization from its tuple form,
