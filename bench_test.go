@@ -178,7 +178,7 @@ func BenchmarkPipelineUnparse(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var sb strings.Builder
-		if err := view.Doc.Write(&sb, dom.WriteOptions{}); err != nil {
+		if err := view.WriteXML(&sb, dom.WriteOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -202,7 +202,7 @@ func BenchmarkPipelineFullCycle(b *testing.B) {
 			b.Fatal(err)
 		}
 		var sb strings.Builder
-		if err := view.Doc.Write(&sb, dom.WriteOptions{}); err != nil {
+		if err := view.WriteXML(&sb, dom.WriteOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -232,7 +232,7 @@ func BenchmarkValidateViewLoosened(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if errs := loose.Validate(view.Doc, dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
+		if errs := loose.Validate(view.Materialize(), dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
 			b.Fatal(errs)
 		}
 	}
@@ -426,7 +426,7 @@ func BenchmarkMergeViewNoOp(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.MergeView(doc, view, view.Doc, writable); err != nil {
+		if _, err := core.MergeView(doc, view, view.Materialize(), writable); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,7 +10,9 @@
 //	xsbench -exp all            run everything
 //	xsbench -exp fig3           one experiment: fig1 fig3 loosen online
 //	                            pipeline conflict subjects xpath cache
-//	                            stages
+//	                            stages view
+//	xsbench -exp view -json BENCH_view.json
+//	                            clone vs mask serve path, JSON output
 //	xsbench -exp online -quick  smaller sweeps
 package main
 
@@ -33,11 +35,15 @@ import (
 	"xmlsec/internal/xpath"
 )
 
-var quick bool
+var (
+	quick   bool
+	jsonOut string
+)
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view all")
 	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
+	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view experiment to this file")
 	flag.Parse()
 
 	experiments := map[string]func() error{
@@ -51,8 +57,9 @@ func main() {
 		"xpath":    expXPath,
 		"cache":    expCache,
 		"stages":   expStages,
+		"view":     expView,
 	}
-	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages"}
+	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view"}
 
 	var names []string
 	if *exp == "all" {
@@ -147,7 +154,7 @@ func expFig3() error {
 		}
 		fmt.Printf("\nView of %s (labels: %d+, %d-, %dε; kept %d/%d nodes):\n",
 			rq, view.Stats.Plus, view.Stats.Minus, view.Stats.Eps, view.Stats.Kept, view.Stats.Nodes)
-		fmt.Println(indentBlock(view.Doc.StringIndent("  "), "  "))
+		fmt.Println(indentBlock(view.XMLIndent("  "), "  "))
 	}
 	return nil
 }
@@ -177,13 +184,13 @@ func expLoosen() error {
 		if err != nil {
 			return err
 		}
-		if view.Doc.DocumentElement() == nil {
+		if view.Empty() {
 			continue
 		}
-		if errs := loose.Validate(view.Doc, dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
+		if errs := loose.Validate(view.Materialize(), dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
 			return fmt.Errorf("view of %s violates loosened DTD: %w", rq, errs)
 		}
-		if errs := d.Validate(view.Doc, dtd.ValidateOptions{IgnoreIDs: true}); errs == nil {
+		if errs := d.Validate(view.Materialize(), dtd.ValidateOptions{IgnoreIDs: true}); errs == nil {
 			fmt.Printf("  note: view of %s happens to satisfy the original DTD too\n", rq)
 		}
 		checks++
@@ -346,7 +353,7 @@ func expPipeline() error {
 		}
 		unparse := measure(func() {
 			var sb strings.Builder
-			if err := view.Doc.Write(&sb, dom.WriteOptions{}); err != nil {
+			if err := view.WriteXML(&sb, dom.WriteOptions{}); err != nil {
 				panic(err)
 			}
 		})
@@ -360,7 +367,7 @@ func expPipeline() error {
 				panic(err)
 			}
 			var sb strings.Builder
-			if err := v.Doc.Write(&sb, dom.WriteOptions{}); err != nil {
+			if err := v.WriteXML(&sb, dom.WriteOptions{}); err != nil {
 				panic(err)
 			}
 		})
@@ -404,8 +411,8 @@ func expConflict() error {
 		if err != nil {
 			return err
 		}
-		projects := strings.Count(view.Doc.StringIndent(" "), "<project")
-		papers := strings.Count(view.Doc.StringIndent(" "), "<paper")
+		projects := strings.Count(view.XMLIndent(" "), "<project")
+		papers := strings.Count(view.XMLIndent(" "), "<paper")
 		fmt.Printf("%-28s %-8d %-8d\n", rule, projects, papers)
 	}
 	fmt.Println("(most-specific-subject is applied first in every case, as in the paper)")

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/labexample"
+	"xmlsec/internal/workload"
+)
+
+// E11 — the mask-based view pipeline against the clone-based one it
+// replaced: the full per-request serve path (compute view + unparse),
+// measured with the standard library benchmark harness so allocation
+// costs are visible. The clone pipeline clones the document, labels and
+// prunes the copy, and serializes it; the mask pipeline labels the
+// shared document in place, derives a visibility bitmask, and
+// serializes straight through the mask. Outputs are byte-identical
+// (differential tests pin this); only the cost differs.
+
+// viewBenchResult is one measured (case, pipeline) cell, and the record
+// format of BENCH_view.json.
+type viewBenchResult struct {
+	Case     string  `json:"case"`
+	Nodes    int     `json:"nodes"`
+	Pipeline string  `json:"pipeline"`
+	NsPerOp  float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+func expView() error {
+	type benchCase struct {
+		name string
+		eng  *core.Engine
+		req  core.Request
+		doc  *dom.Document
+	}
+	var cases []benchCase
+
+	labEng := core.NewEngine(labexample.Directory(), labexample.Store())
+	labDoc, _ := labexample.Parse()
+	cases = append(cases, benchCase{
+		name: "labexample",
+		eng:  labEng,
+		req:  core.Request{Requester: labexample.Tom, URI: labexample.DocURI, DTDURI: labexample.DTDURI},
+		doc:  labDoc,
+	})
+
+	sizes := []workload.DocConfig{
+		{Depth: 3, Fanout: 4, Attrs: 2, Seed: 11},
+		{Depth: 4, Fanout: 5, Attrs: 2, Seed: 12},
+	}
+	if quick {
+		sizes = sizes[:1]
+	}
+	for _, dc := range sizes {
+		cfg := workload.AuthConfig{
+			N: 32, Doc: dc,
+			SchemaFraction:    0.25,
+			PredicateFraction: 0.4,
+			Seed:              dc.Seed * 31,
+		}.Norm()
+		doc := workload.GenDocument(dc)
+		inst, schema := workload.GenAuths(cfg)
+		store := authz.NewStore()
+		if err := store.AddAll(authz.InstanceLevel, inst); err != nil {
+			return err
+		}
+		if err := store.AddAll(authz.SchemaLevel, schema); err != nil {
+			return err
+		}
+		eng := core.NewEngine(workload.GenDirectory(cfg.Pop), store)
+		cases = append(cases, benchCase{
+			name: fmt.Sprintf("gen-d%df%d", dc.Depth, dc.Fanout),
+			eng:  eng,
+			req: core.Request{
+				Requester: workload.GenRequester(cfg.Pop, dc.Seed+7),
+				URI:       cfg.URI,
+				DTDURI:    cfg.DTDURI,
+			},
+			doc: doc,
+		})
+	}
+
+	var results []viewBenchResult
+	fmt.Printf("%-14s %-8s %-10s %-14s %-14s %-12s\n",
+		"case", "nodes", "pipeline", "ns/op", "bytes/op", "allocs/op")
+	for _, c := range cases {
+		// Sanity: both pipelines must serve the same bytes before we
+		// time them.
+		mv, err := c.eng.ComputeView(c.req, c.doc)
+		if err != nil {
+			return err
+		}
+		cv, err := c.eng.ComputeViewClone(c.req, c.doc)
+		if err != nil {
+			return err
+		}
+		if mv.XMLIndent("  ") != cv.XMLIndent("  ") {
+			return fmt.Errorf("%s: pipelines disagree on output", c.name)
+		}
+		nodes := c.doc.CountNodes()
+		var nsClone float64
+		for _, p := range []struct {
+			name  string
+			serve func() error
+		}{
+			{"clone", func() error {
+				view, err := c.eng.ComputeViewClone(c.req, c.doc)
+				if err != nil {
+					return err
+				}
+				var sb strings.Builder
+				return view.WriteXML(&sb, dom.WriteOptions{Indent: "  "})
+			}},
+			{"mask", func() error {
+				view, err := c.eng.ComputeView(c.req, c.doc)
+				if err != nil {
+					return err
+				}
+				var sb strings.Builder
+				return view.WriteXML(&sb, dom.WriteOptions{Indent: "  "})
+			}},
+		} {
+			serve := p.serve
+			br := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := serve(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			r := viewBenchResult{
+				Case:     c.name,
+				Nodes:    nodes,
+				Pipeline: p.name,
+				NsPerOp:  float64(br.NsPerOp()),
+				BytesOp:  br.AllocedBytesPerOp(),
+				AllocsOp: br.AllocsPerOp(),
+			}
+			results = append(results, r)
+			suffix := ""
+			if p.name == "clone" {
+				nsClone = r.NsPerOp
+			} else if nsClone > 0 {
+				suffix = fmt.Sprintf("  (%.2fx)", nsClone/r.NsPerOp)
+			}
+			fmt.Printf("%-14s %-8d %-10s %-14.0f %-14d %-12d%s\n",
+				r.Case, r.Nodes, r.Pipeline, r.NsPerOp, r.BytesOp, r.AllocsOp, suffix)
+		}
+	}
+	fmt.Println("(serve path = compute view + unparse; outputs verified byte-identical first)")
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return nil
+}

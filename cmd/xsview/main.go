@@ -122,10 +122,10 @@ func run(docPath, uri string, xacls []string, user, groups, ip, host string, exp
 		}
 		return result.Write(os.Stdout, dom.WriteOptions{Indent: "  ", OmitDecl: true})
 	}
-	if view.Doc.DocumentElement() == nil {
+	if view.Empty() {
 		return fmt.Errorf("the view for %s is empty", rq)
 	}
-	return view.Doc.Write(os.Stdout, dom.WriteOptions{Indent: "  ", OmitDocType: true})
+	return view.WriteXML(os.Stdout, dom.WriteOptions{Indent: "  ", OmitDocType: true})
 }
 
 func splitList(s string) []string {

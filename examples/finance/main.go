@@ -132,11 +132,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("--- %s at %s ---\n", tr.rq, tr.at.Format("2006-01-02"))
-		if view.Doc.DocumentElement() == nil {
+		if view.Empty() {
 			fmt.Println("(nothing visible)")
 			continue
 		}
-		fmt.Println(view.Doc.StringIndent("  "))
+		fmt.Println(view.XMLIndent("  "))
 	}
 }
 

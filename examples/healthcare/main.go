@@ -128,11 +128,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("--- view of %s ---\n", rq)
-		if view.Doc.DocumentElement() == nil {
+		if view.Empty() {
 			fmt.Println("(empty: nothing visible)")
 			continue
 		}
-		fmt.Println(view.Doc.StringIndent("  "))
+		fmt.Println(view.XMLIndent("  "))
 	}
 }
 

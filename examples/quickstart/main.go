@@ -63,7 +63,7 @@ func main() {
 		}
 		fmt.Printf("--- view of %s (%d of %d nodes visible) ---\n",
 			user, view.Stats.Kept, view.Stats.Nodes)
-		fmt.Println(view.Doc.StringIndent("  "))
+		fmt.Println(view.XMLIndent("  "))
 	}
 }
 

@@ -79,6 +79,33 @@ func (s *Store) HasTimeBounded() bool {
 	return s.timeBounded
 }
 
+// HasTimeBoundedFor reports whether any authorization applicable to the
+// given document — instance-level on docURI or schema-level on dtdURI —
+// carries a validity window. This is the per-document refinement of
+// HasTimeBounded: a validity window on one document's authorizations
+// makes only that document's views time-dependent, so caches for other
+// documents stay effective.
+func (s *Store) HasTimeBoundedFor(docURI, dtdURI string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.timeBounded {
+		return false
+	}
+	for _, a := range s.instance[docURI] {
+		if !a.Validity.IsZero() {
+			return true
+		}
+	}
+	if dtdURI != "" {
+		for _, a := range s.schema[dtdURI] {
+			if !a.Validity.IsZero() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Generation returns a counter that changes whenever the stored
 // authorization set changes; caches key their entries on it so policy
 // changes invalidate derived views.

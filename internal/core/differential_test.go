@@ -1,0 +1,252 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/labexample"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/xmlparse"
+)
+
+// The mask pipeline must be observationally identical to the legacy
+// clone-label-prune pipeline it replaced: for any document,
+// authorization set and requester, serializing the shared document
+// through the visibility mask yields byte-for-byte the XML that
+// pruning a per-request clone used to produce. ComputeViewClone is
+// kept exactly for this role of differential oracle.
+
+// diffWriteOptions are the serialization shapes compared in every
+// differential check (flat, pretty, with and without prolog).
+var diffWriteOptions = []dom.WriteOptions{
+	{},
+	{Indent: "  "},
+	{OmitDecl: true, OmitDocType: true},
+	{Indent: "\t", OmitDecl: true},
+}
+
+// assertPipelinesAgree computes the view of doc for req through both
+// pipelines and fails the test on any observable difference.
+func assertPipelinesAgree(t *testing.T, ctx string, eng *core.Engine, req core.Request, doc *dom.Document) {
+	t.Helper()
+	mv, err := eng.ComputeView(req, doc)
+	if err != nil {
+		t.Fatalf("%s: mask pipeline: %v", ctx, err)
+	}
+	cv, err := eng.ComputeViewClone(req, doc)
+	if err != nil {
+		t.Fatalf("%s: clone pipeline: %v", ctx, err)
+	}
+	if mv.Empty() != cv.Empty() {
+		t.Fatalf("%s: emptiness disagrees: mask %v, clone %v", ctx, mv.Empty(), cv.Empty())
+	}
+	if mv.Stats != cv.Stats {
+		t.Errorf("%s: stats disagree: mask %+v, clone %+v", ctx, mv.Stats, cv.Stats)
+	}
+	for _, opts := range diffWriteOptions {
+		var a, b strings.Builder
+		if err := mv.WriteXML(&a, opts); err != nil {
+			t.Fatalf("%s: mask serialization: %v", ctx, err)
+		}
+		if err := cv.WriteXML(&b, opts); err != nil {
+			t.Fatalf("%s: clone serialization: %v", ctx, err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: serializations differ (opts %+v):\n--- mask ---\n%s\n--- clone ---\n%s",
+				ctx, opts, a.String(), b.String())
+		}
+	}
+	// The materialized mask view must match the pruned clone as a tree.
+	if got, want := mv.Materialize().StringIndent("  "), cv.Doc.StringIndent("  "); got != want {
+		t.Errorf("%s: materialized view differs from pruned clone:\n--- mask ---\n%s\n--- clone ---\n%s",
+			ctx, got, want)
+	}
+}
+
+// TestDifferentialFixtures sweeps the directed pruning fixtures —
+// every corner of the prune semantics (structure-only ancestors,
+// withheld text, attribute-kept shells, comments/PIs, open and closed
+// policies, empty views) — through both pipelines.
+func TestDifferentialFixtures(t *testing.T) {
+	cases := []struct {
+		name   string
+		docXML string
+		tuples []string
+		pol    core.Policy
+	}{
+		{"subtree", `<a><b><c>deep</c></b><d>gone</d></a>`,
+			[]string{`<<Public,*,*>,doc.xml:/a/b/c,read,+,R>`}, core.Policy{}},
+		{"structure-text", `<a>secret<b>ok</b></a>`,
+			[]string{`<<Public,*,*>,doc.xml:/a/b,read,+,R>`}, core.Policy{}},
+		{"denied-attr", `<a x="1" y="2"/>`,
+			[]string{
+				`<<Public,*,*>,doc.xml:/a,read,+,L>`,
+				`<<Public,*,*>,doc.xml:/a/@y,read,-,L>`,
+			}, core.Policy{}},
+		{"attr-shell", `<a><b x="1">hidden</b></a>`,
+			[]string{`<<Public,*,*>,doc.xml:/a/b/@x,read,+,L>`}, core.Policy{}},
+		{"empty-view", `<a><b/></a>`, nil, core.Policy{}},
+		{"open-policy", `<a><b>keep</b><c>no</c></a>`,
+			[]string{`<<Public,*,*>,doc.xml:/a/c,read,-,R>`}, core.Policy{Open: true}},
+		{"closed-policy", `<a><b>keep</b><c>no</c></a>`,
+			[]string{`<<Public,*,*>,doc.xml:/a/b,read,+,R>`}, core.Policy{}},
+		{"weak-override", `<a><b>x</b></a>`,
+			[]string{
+				`<<Public,*,*>,doc.xml:/a,read,+,RW>`,
+				`<<Public,*,*>,doc.xml:/a/b,read,-,L>`,
+			}, core.Policy{}},
+		{"mixed-depth", `<r><a p="1"><b>t1</b><c q="2">t2<d/></c></a><e>t3</e></r>`,
+			[]string{
+				`<<Public,*,*>,doc.xml:/r/a,read,+,R>`,
+				`<<Public,*,*>,doc.xml:/r/a/c,read,-,L>`,
+				`<<Public,*,*>,doc.xml:/r/a/c/d,read,+,L>`,
+			}, core.Policy{}},
+	}
+	for _, c := range cases {
+		res, err := xmlparse.Parse(c.docXML, xmlparse.Options{KeepComments: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := subjects.NewDirectory()
+		if err := dir.AddUser("u"); err != nil {
+			t.Fatal(err)
+		}
+		store := authz.NewStore()
+		for _, tu := range c.tuples {
+			if err := store.Add(authz.InstanceLevel, mustAuth(t, tu)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng := core.NewEngine(dir, store)
+		eng.Default = c.pol
+		req := core.Request{
+			Requester: subjects.Requester{User: "u", IP: "9.9.9.9", Host: "h.test.org"},
+			URI:       "doc.xml",
+		}
+		assertPipelinesAgree(t, c.name, eng, req, res.Doc)
+	}
+}
+
+// TestDifferentialFigure1 runs the paper's running example (Figure 1
+// document, Figure 4/5 authorizations) for each of its characteristic
+// requesters through both pipelines.
+func TestDifferentialFigure1(t *testing.T) {
+	eng := core.NewEngine(labexample.Directory(), labexample.Store())
+	doc, _ := labexample.Parse()
+	for _, rq := range []subjects.Requester{
+		labexample.Tom,
+		{User: "Sam", IP: "130.89.56.8", Host: "adminhost.lab.com"},
+		{User: "anonymous", IP: "200.1.2.3", Host: "outside.example.com"},
+		{User: "Alice", IP: "151.100.1.1", Host: "a.dsi.it"},
+	} {
+		req := core.Request{Requester: rq, URI: labexample.DocURI, DTDURI: labexample.DTDURI}
+		assertPipelinesAgree(t, "figure1/"+rq.User, eng, req, doc)
+	}
+}
+
+// TestDifferentialRandomized fuzzes both pipelines with generated
+// documents, DTDs, populations and authorization sets.
+func TestDifferentialRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		eng, req, doc, _ := randomSetup(seed)
+		assertPipelinesAgree(t, "seed", eng, req, doc)
+	}
+}
+
+// TestDifferentialDeepDocument pins both pipelines — recursive
+// labeling, mask construction, pruning, and serialization — on a
+// 10000-element-deep chain with the only grant on the deepest leaf, so
+// every ancestor survives as structure. None of the recursions may
+// overflow, and the outputs must still agree.
+func TestDifferentialDeepDocument(t *testing.T) {
+	const depth = 10000
+	doc := dom.NewDocument()
+	root := dom.NewElement("d")
+	doc.SetDocumentElement(root)
+	cur := root
+	for i := 0; i < depth; i++ {
+		cur.AppendChild(dom.NewText("hidden"))
+		next := dom.NewElement("c")
+		cur.AppendChild(next)
+		cur = next
+	}
+	leaf := dom.NewElement("leaf")
+	leaf.AppendChild(dom.NewText("visible"))
+	cur.AppendChild(leaf)
+	doc.Renumber()
+
+	dir := subjects.NewDirectory()
+	if err := dir.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	store := authz.NewStore()
+	if err := store.Add(authz.InstanceLevel, mustAuth(t, `<<Public,*,*>,deep.xml://leaf,read,+,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(dir, store)
+	req := core.Request{
+		Requester: subjects.Requester{User: "u", IP: "9.9.9.9", Host: "h.test.org"},
+		URI:       "deep.xml",
+	}
+	mv, err := eng.ComputeView(req, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a strings.Builder
+	if err := mv.WriteXML(&a, dom.WriteOptions{OmitDecl: true, OmitDocType: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("structural ancestors leaked their text at depth")
+	}
+	if !strings.Contains(out, "visible") {
+		t.Fatal("granted leaf missing from deep view")
+	}
+	if got, want := strings.Count(out, "<c>"), depth; got != want {
+		t.Fatalf("structural chain truncated: %d of %d <c> elements", got, want)
+	}
+	cv, err := eng.ComputeViewClone(req, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := cv.WriteXML(&b, dom.WriteOptions{OmitDecl: true, OmitDocType: true}); err != nil {
+		t.Fatal(err)
+	}
+	if out != b.String() {
+		t.Error("deep-document serializations differ between pipelines")
+	}
+}
+
+// TestLegacyCloneViewsOption pins the Engine.LegacyCloneViews escape
+// hatch: it routes ComputeView through the clone pipeline (views carry
+// an Origin map and a private tree) without changing the output.
+func TestLegacyCloneViewsOption(t *testing.T) {
+	doc, _ := labexample.Parse()
+	req := core.Request{Requester: labexample.Tom, URI: labexample.DocURI, DTDURI: labexample.DTDURI}
+
+	eng := core.NewEngine(labexample.Directory(), labexample.Store())
+	mask, err := eng.ComputeView(req, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.Mask == nil || mask.Origin != nil || mask.Doc != doc {
+		t.Error("default pipeline should share the document under a mask")
+	}
+
+	eng.LegacyCloneViews = true
+	clone, err := eng.ComputeView(req, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Mask != nil || clone.Origin == nil || clone.Doc == doc {
+		t.Error("LegacyCloneViews should produce a private pruned clone with provenance")
+	}
+	if mask.XMLIndent("  ") != clone.XMLIndent("  ") {
+		t.Error("pipelines disagree on the served XML")
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,6 +22,17 @@ type Engine struct {
 	Store *authz.Store
 	// Default is the policy for documents with no specific policy.
 	Default Policy
+
+	// LegacyCloneViews switches ComputeView back to the historical
+	// clone-label-prune pipeline: every request deep-copies the
+	// document, labels the copy, and physically prunes it. The default
+	// (false) is the mask pipeline, which labels the shared read-only
+	// document in place and represents the view as a visibility bitmask
+	// — no per-request tree allocation. The clone path is kept for one
+	// release as the differential-testing oracle (ComputeViewClone runs
+	// it unconditionally) and is scheduled for removal; see DESIGN.md
+	// "Virtual views". Set before serving, like Hierarchy and Store.
+	LegacyCloneViews bool
 
 	mu       sync.RWMutex
 	policies map[string]Policy // per-document URI
@@ -116,28 +129,139 @@ type Stats struct {
 	AuthsInstance, AuthsSchema int
 }
 
-// View is the outcome of compute-view: the pruned document a requester
-// is entitled to see, plus the labeling that produced it.
+// View is the outcome of compute-view: the document a requester is
+// entitled to see, plus the labeling that produced it.
+//
+// In the mask pipeline (the default), Doc is the shared read-only
+// original and Mask carries the visibility decision per node; nothing
+// is copied and the original nodes are the view nodes, so provenance
+// is the identity. In the legacy clone pipeline Doc is a pruned copy,
+// Mask is nil, and Origin maps copies back to originals. Consumers
+// should go through Empty, Visible, OriginOf, WriteXML and Materialize
+// rather than reading the fields, so both representations behave the
+// same.
 type View struct {
-	// Doc is the requester's view: a pruned copy of the document. The
-	// original document is never mutated.
+	// Doc is the document the view is over: the shared original in the
+	// mask pipeline, a pruned copy in the legacy pipeline. In neither
+	// case is the original document mutated.
 	Doc *dom.Document
-	// Labeling holds the final labels, keyed by the nodes of Doc
-	// before pruning (pruned nodes remain queryable).
+	// Mask is the visibility bitmask over Doc's node indexes (nil in
+	// the legacy pipeline, where pruning is physical).
+	Mask dom.Bitmask
+	// Labeling holds the final labels, keyed by Doc's node indexes
+	// (invisible nodes remain queryable).
 	Labeling *Labeling
 	// Origin maps each node of Doc back to the corresponding node of
-	// the document the view was computed from — the provenance used by
-	// write-through-views (MergeView) to find authorization targets.
+	// the document the view was computed from. Only the legacy clone
+	// pipeline populates it; under the mask pipeline the original
+	// nodes are the view nodes and OriginOf is the identity.
 	Origin map[*dom.Node]*dom.Node
 	// Stats summarizes the computation.
 	Stats Stats
+
+	matOnce sync.Once
+	mat     *dom.Document
+}
+
+// Empty reports whether the view contains nothing at all — the
+// requester's view of a fully protected document, which the server
+// must treat as nonexistent.
+func (v *View) Empty() bool {
+	root := v.Doc.DocumentElement()
+	return root == nil || !v.Mask.Visible(root)
+}
+
+// Visible reports whether node n of v.Doc is part of the view.
+func (v *View) Visible(n *dom.Node) bool { return v.Mask.Visible(n) }
+
+// OriginOf maps a view node back to the node of the original document
+// it represents, or nil for nodes outside the view. Under the mask
+// pipeline this is the identity on visible nodes — the provenance that
+// write-through-views needs comes for free.
+func (v *View) OriginOf(n *dom.Node) *dom.Node {
+	if v.Origin != nil {
+		return v.Origin[n]
+	}
+	if v.Mask.Visible(n) {
+		return n
+	}
+	return nil
+}
+
+// WriteXML unparses the view to w: serialization through the mask,
+// with no materialized copy. Any Mask in opts is overridden.
+func (v *View) WriteXML(w io.Writer, opts dom.WriteOptions) error {
+	opts.Mask = v.Mask
+	return v.Doc.Write(w, opts)
+}
+
+// XMLIndent returns the view pretty-printed with the given indent unit,
+// without XML declaration, DOCTYPE, or trailing newline — the masked
+// counterpart of dom.Document.StringIndent, convenient for tests and
+// golden comparisons.
+func (v *View) XMLIndent(indent string) string {
+	var b strings.Builder
+	_ = v.WriteXML(&b, dom.WriteOptions{Indent: indent, OmitDecl: true, OmitDocType: true})
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Materialize returns the view as a standalone pruned document — what
+// the legacy pipeline returned in Doc. The copy is built on first use
+// and cached (safely under concurrent callers); the serve path never
+// needs it, but validation, XPath queries and offline tools do. The
+// result must not be mutated: it is shared by every caller.
+func (v *View) Materialize() *dom.Document {
+	if v.Mask == nil {
+		return v.Doc
+	}
+	v.matOnce.Do(func() { v.mat = v.Doc.CloneMasked(v.Mask) })
+	return v.mat
 }
 
 // ComputeView runs the paper's compute-view algorithm (Figure 2): it
 // gathers the authorizations applicable to the requester at instance
-// and schema level, labels a copy of the document tree by recursive
-// propagation, and prunes it. The input document is not modified.
+// and schema level, labels the document tree by recursive propagation,
+// and computes the view. The input document is never modified.
+//
+// By default the view is virtual: the shared document is labeled in
+// place (labels live in a dense per-request slice, not on the tree)
+// and the transformation step produces a visibility mask instead of a
+// pruned copy — set-at-a-time labeling with zero per-request tree
+// allocation, the shape the paper's "fast on-line computation" claim
+// (Section 6, E5) asks for. With Engine.LegacyCloneViews the historical
+// clone-label-prune pipeline runs instead.
+//
+// The document must have been renumbered (the parser does this) and is
+// treated as immutable for the lifetime of the returned view.
 func (e *Engine) ComputeView(req Request, doc *dom.Document) (*View, error) {
+	if e.LegacyCloneViews {
+		return e.ComputeViewClone(req, doc)
+	}
+	obs := e.stageObserver()
+	start := time.Now()
+	lb, stats, err := e.Label(req, doc)
+	if err != nil {
+		return nil, err
+	}
+	if obs != nil {
+		obs.ObserveStage("label", time.Since(start))
+	}
+	pol := e.PolicyFor(req.URI)
+	start = time.Now()
+	mask, kept := Visibility(doc, lb, pol)
+	stats.Kept = kept
+	if obs != nil {
+		obs.ObserveStage("prune", time.Since(start))
+	}
+	return &View{Doc: doc, Mask: mask, Labeling: lb, Stats: stats}, nil
+}
+
+// ComputeViewClone runs the legacy clone-label-prune pipeline
+// unconditionally: it deep-copies the document, labels the copy, and
+// physically prunes it. Kept as the differential-testing oracle for the
+// mask pipeline (and behind Engine.LegacyCloneViews for operators who
+// need one release of fallback); scheduled for removal.
+func (e *Engine) ComputeViewClone(req Request, doc *dom.Document) (*View, error) {
 	obs := e.stageObserver()
 	work, origin := doc.CloneWithMap()
 	start := time.Now()
@@ -168,11 +292,12 @@ func (e *Engine) Label(req Request, doc *dom.Document) (*Labeling, Stats, error)
 		return nil, Stats{}, err
 	}
 	pol := e.PolicyFor(req.URI)
+	n := doc.NodeCount()
 	l := &labeler{
-		h:      e.Hierarchy,
-		rule:   pol.Conflict,
-		byNode: make(map[*dom.Node]*nodeAuths),
-		out:    &Labeling{labels: make(map[*dom.Node]*Label)},
+		h:     e.Hierarchy,
+		rule:  pol.Conflict,
+		byIdx: make([]*nodeAuths, n),
+		out:   newLabeling(n),
 	}
 	// Set-at-a-time object evaluation: each authorization's path
 	// expression runs once per request, not once per node. This is the
@@ -206,10 +331,11 @@ func (e *Engine) Label(req Request, doc *dom.Document) (*Labeling, Stats, error)
 		AuthsInstance: len(axml),
 		AuthsSchema:   len(adtd),
 	}
+	// One pass over the dense labeling derives all three counts; the
+	// preorder visit labels every element and attribute under the
+	// document element, which is exactly what Nodes counts, so the
+	// counts are consistent by construction.
 	stats.Plus, stats.Minus, stats.Eps = l.out.Count()
-	// Unlabeled element/attribute nodes never enter the map; count them
-	// as ε. (Every labeled node is an element or attribute.)
-	stats.Eps = stats.Nodes - stats.Plus - stats.Minus
 	return l.out, stats, nil
 }
 
@@ -255,10 +381,10 @@ type nodeAuths struct {
 }
 
 type labeler struct {
-	h      subjects.Hierarchy
-	rule   ConflictRule
-	byNode map[*dom.Node]*nodeAuths
-	out    *Labeling
+	h     subjects.Hierarchy
+	rule  ConflictRule
+	byIdx []*nodeAuths // node index → collected authorizations
+	out   *Labeling
 }
 
 // add records that authorization a protects node n. On attribute nodes
@@ -267,10 +393,10 @@ type labeler struct {
 // attribute" (Section 6.1) and a recursive authorization naming an
 // attribute directly protects exactly that attribute.
 func (l *labeler) add(n *dom.Node, a *authz.Authorization, schema bool) {
-	na := l.byNode[n]
+	na := l.byIdx[n.Order]
 	if na == nil {
 		na = &nodeAuths{}
-		l.byNode[n] = na
+		l.byIdx[n.Order] = na
 	}
 	if schema {
 		if a.Type.IsRecursive() && n.Type != dom.AttributeNode {
@@ -318,8 +444,8 @@ func (l *labeler) signOf(auths []*authz.Authorization) Sign {
 // initialLabel computes the node's own 6-tuple from the authorizations
 // that name it (procedure initial_label of Figure 2).
 func (l *labeler) initialLabel(n *dom.Node) *Label {
-	lab := &Label{}
-	if na := l.byNode[n]; na != nil {
+	lab := l.out.at(n)
+	if na := l.byIdx[n.Order]; na != nil {
 		lab.L = l.signOf(na.instance[authz.Local])
 		lab.R = l.signOf(na.instance[authz.Recursive])
 		lab.LW = l.signOf(na.instance[authz.LocalWeak])
@@ -327,7 +453,6 @@ func (l *labeler) initialLabel(n *dom.Node) *Label {
 		lab.LD = l.signOf(na.dtdLocal)
 		lab.RD = l.signOf(na.dtdRec)
 	}
-	l.out.labels[n] = lab
 	return lab
 }
 

@@ -29,7 +29,7 @@ func ExampleEngine_ComputeView() {
 		URI:       "report.xml",
 	}, res.Doc)
 
-	fmt.Println(view.Doc.StringIndent("  "))
+	fmt.Println(view.XMLIndent("  "))
 	// Output:
 	// <report>
 	//   <summary>totals ok</summary>
@@ -56,7 +56,7 @@ func ExampleEngine_ComputeView_exception() {
 		URI:       "d.xml",
 	}, res.Doc)
 
-	fmt.Println(view.Doc.StringIndent("  "))
+	fmt.Println(view.XMLIndent("  "))
 	// Output:
 	// <doc>
 	//   <public>a</public>

@@ -96,7 +96,7 @@ func TestFigure3TomView(t *testing.T) {
     </paper>
   </project>
 </laboratory>`)
-	got := strings.TrimSpace(view.Doc.StringIndent("  "))
+	got := strings.TrimSpace(view.XMLIndent("  "))
 	if got != want {
 		t.Errorf("Tom's view mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
@@ -144,7 +144,7 @@ func TestFigure3SamView(t *testing.T) {
     </paper>
   </project>
 </laboratory>`)
-	got := strings.TrimSpace(view.Doc.StringIndent("  "))
+	got := strings.TrimSpace(view.XMLIndent("  "))
 	if got != want {
 		t.Errorf("Sam's view mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
@@ -160,7 +160,7 @@ func TestFigure3AnonymousView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := strings.TrimSpace(view.Doc.StringIndent("  "))
+	got := strings.TrimSpace(view.XMLIndent("  "))
 	want := strings.TrimSpace(`
 <laboratory>
   <project>
@@ -201,7 +201,7 @@ func TestFigure3WeakSchemaInteraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := view.Doc.StringIndent("  ")
+	got := view.XMLIndent("  ")
 	if strings.Contains(got, "<title>") {
 		t.Errorf("schema-level denial should override weak instance permission on titles; got:\n%s", got)
 	}

@@ -81,29 +81,61 @@ type Label struct {
 }
 
 // Labeling is the result of the tree-labeling step for one request: the
-// per-node labels, keyed by node identity.
+// per-node labels, keyed by the node's dense preorder index
+// (dom.Node.Index, assigned by dom.Document.Renumber).
+//
+// The dense representation replaces the previous pointer-keyed map: one
+// flat []Label slice sized to the document, with a presence bitmask
+// marking the element/attribute indexes that were labeled. Lookups are
+// an array access, the per-request allocation is two contiguous blocks,
+// and the labeling of a shared read-only document never touches the
+// tree itself — the properties the mask-based view pipeline relies on.
+//
+// A Labeling is only meaningful against the document (and numbering
+// generation) it was computed from.
 type Labeling struct {
-	labels map[*dom.Node]*Label
+	labels  []Label
+	present dom.Bitmask
+}
+
+// newLabeling returns an empty labeling for a document of n nodes.
+func newLabeling(n int) *Labeling {
+	return &Labeling{labels: make([]Label, n), present: dom.NewBitmask(n)}
+}
+
+// at returns the (mutable) label slot for n, marking it present.
+func (lb *Labeling) at(n *dom.Node) *Label {
+	lb.present.Set(n.Order)
+	return &lb.labels[n.Order]
 }
 
 // Of returns the label of n, or nil if n was not part of the labeled
 // document (or is not an element/attribute).
 func (lb *Labeling) Of(n *dom.Node) *Label {
-	return lb.labels[n]
+	if i := n.Order; i >= 0 && i < len(lb.labels) && lb.present.Get(i) {
+		return &lb.labels[i]
+	}
+	return nil
 }
 
 // FinalOf returns the final sign of n (ε for unlabeled nodes).
 func (lb *Labeling) FinalOf(n *dom.Node) Sign {
-	if l := lb.labels[n]; l != nil {
+	if l := lb.Of(n); l != nil {
 		return l.Final
 	}
 	return Epsilon
 }
 
-// Count returns how many nodes carry each final sign.
+// Count returns how many labeled nodes carry each final sign, in one
+// pass over the dense slice. Every element and attribute reachable from
+// the document element is labeled, so plus+minus+eps equals the
+// document's element+attribute count.
 func (lb *Labeling) Count() (plus, minus, eps int) {
-	for _, l := range lb.labels {
-		switch l.Final {
+	for i := range lb.labels {
+		if !lb.present.Get(i) {
+			continue
+		}
+		switch lb.labels[i].Final {
 		case Plus:
 			plus++
 		case Minus:

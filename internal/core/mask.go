@@ -1,0 +1,67 @@
+package core
+
+import "xmlsec/internal/dom"
+
+// Visibility computes the transformation step (Section 6.2) as a pure
+// function: instead of pruning a tree, it returns a visibility bitmask
+// over doc's dense node indexes in which a bit is set exactly for the
+// nodes the legacy PruneDoc would have kept. kept counts the surviving
+// elements and attributes (the unit of the paper's statistics).
+//
+// The semantics are PruneDoc's, unchanged: a subtree whose final labels
+// do not grant access under the policy is dropped unless a permitted
+// descendant survives, in which case the denied/unlabeled ancestors
+// remain as connective structure — visible start/end tags without their
+// own character data. Attributes survive on their own label only;
+// text, CDATA, comments and PIs follow their containing element's own
+// visibility. The document node and prolog comments/PIs are always
+// visible (pruning never touched them either).
+//
+// Neither doc nor lb is modified, so any number of Visibility calls may
+// run concurrently over one shared immutable document.
+func Visibility(doc *dom.Document, lb *Labeling, pol Policy) (mask dom.Bitmask, kept int) {
+	mask = dom.NewBitmask(doc.NodeCount())
+	mask.Set(doc.Node.Order)
+	for _, c := range doc.Node.Children {
+		if c.Type != dom.ElementNode {
+			mask.Set(c.Order)
+		}
+	}
+	root := doc.DocumentElement()
+	if root == nil {
+		return mask, 0
+	}
+	var visit func(n *dom.Node) bool
+	visit = func(n *dom.Node) bool {
+		selfVisible := pol.visible(lb.FinalOf(n))
+		survives := selfVisible
+		for _, a := range n.Attrs {
+			if pol.visible(lb.FinalOf(a)) {
+				mask.Set(a.Order)
+				kept++
+				survives = true
+			}
+		}
+		for _, c := range n.Children {
+			switch c.Type {
+			case dom.ElementNode:
+				if visit(c) {
+					survives = true
+				}
+			default:
+				// Character data belongs to its containing element and
+				// is withheld from elements kept only as structure.
+				if selfVisible {
+					mask.Set(c.Order)
+				}
+			}
+		}
+		if survives {
+			mask.Set(n.Order)
+			kept++
+		}
+		return survives
+	}
+	visit(root)
+	return mask, kept
+}

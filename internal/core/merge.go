@@ -48,23 +48,30 @@ func denyf(format string, args ...any) error {
 //
 // On success MergeView returns a fresh document (orig is not mutated)
 // carrying orig's prolog and DOCTYPE.
+//
+// The view may come from either pipeline. Under the mask pipeline the
+// view nodes are the original nodes and visibility is the mask, so the
+// provenance that the legacy pipeline kept in an Origin map comes for
+// free as the identity; the merger reads attributes, content and child
+// lists of view elements through the mask so hidden parts of a shared
+// node never count as "shown to the requester".
 func MergeView(orig *dom.Document, view *View, updated *dom.Document, writable func(*dom.Node) bool) (*dom.Document, error) {
-	viewRoot := view.Doc.DocumentElement()
 	newRoot := updated.DocumentElement()
 	origRoot := orig.DocumentElement()
-	if viewRoot == nil {
+	if view.Empty() {
 		return nil, denyf("the requester's view is empty")
 	}
+	viewRoot := view.Doc.DocumentElement()
 	if newRoot == nil {
 		return nil, denyf("deleting the document element requires deleting the document")
 	}
 	if newRoot.Name != viewRoot.Name {
 		return nil, denyf("the document element cannot be renamed (%s -> %s)", viewRoot.Name, newRoot.Name)
 	}
-	if view.Origin[viewRoot] != origRoot {
+	if view.OriginOf(viewRoot) != origRoot {
 		return nil, denyf("view does not originate from this document")
 	}
-	m := &merger{origin: view.Origin, writable: writable}
+	m := &merger{view: view, writable: writable}
 	mergedRoot, err := m.element(origRoot, viewRoot, newRoot)
 	if err != nil {
 		return nil, err
@@ -93,8 +100,43 @@ func MergeView(orig *dom.Document, view *View, updated *dom.Document, writable f
 }
 
 type merger struct {
-	origin   map[*dom.Node]*dom.Node
+	view     *View
 	writable func(*dom.Node) bool
+}
+
+// originOf maps a view node back to its original node (identity under
+// the mask pipeline).
+func (m *merger) originOf(v *dom.Node) *dom.Node { return m.view.OriginOf(v) }
+
+// attr returns the named attribute of view element v as the requester
+// saw it: nil if the view withheld it.
+func (m *merger) attr(v *dom.Node, name string) *dom.Node {
+	if a := v.AttrNode(name); a != nil && m.view.Visible(a) {
+		return a
+	}
+	return nil
+}
+
+// contentKey is the character-data fingerprint of view element v as the
+// requester saw it.
+func (m *merger) contentKey(v *dom.Node) string {
+	return dom.ContentKeyMasked(v, m.view.Mask)
+}
+
+// kids returns the element children of view element v that the view
+// actually showed.
+func (m *merger) kids(v *dom.Node) []*dom.Node {
+	all := v.ChildElements()
+	if m.view.Mask == nil {
+		return all
+	}
+	vis := all[:0:0]
+	for _, k := range all {
+		if m.view.Visible(k) {
+			vis = append(vis, k)
+		}
+	}
+	return vis
 }
 
 // element merges one aligned (orig, view, new) element triple.
@@ -106,9 +148,9 @@ func (m *merger) element(o, v, n *dom.Node) (*dom.Node, error) {
 	}
 
 	// Character data: detect an edit against the view.
-	contentEdited := dom.ContentKey(v) != dom.ContentKey(n)
+	contentEdited := m.contentKey(v) != dom.ContentKey(n)
 	if contentEdited {
-		if dom.ContentKey(v) != dom.ContentKey(o) {
+		if m.contentKey(v) != dom.ContentKey(o) {
 			return nil, denyf("content of %s is not fully readable and cannot be edited", o.Path())
 		}
 		if !m.writable(o) {
@@ -116,7 +158,7 @@ func (m *merger) element(o, v, n *dom.Node) (*dom.Node, error) {
 		}
 	}
 
-	vKids := v.ChildElements()
+	vKids := m.kids(v)
 	nKids := n.ChildElements()
 	oKids := o.ChildElements()
 	mv, mn := dom.AlignByName(vKids, nKids)
@@ -124,7 +166,7 @@ func (m *merger) element(o, v, n *dom.Node) (*dom.Node, error) {
 	// Which orig children are visible (present in the view)?
 	visIdx := make(map[*dom.Node]int) // orig child -> index into vKids
 	for i, vk := range vKids {
-		ok := m.origin[vk]
+		ok := m.originOf(vk)
 		if ok == nil || ok.Parent != o {
 			return nil, denyf("view node %s does not originate from %s", vk.Path(), o.Path())
 		}
@@ -210,7 +252,7 @@ func (m *merger) element(o, v, n *dom.Node) (*dom.Node, error) {
 // attrs merges the attribute lists of one element triple into out.
 func (m *merger) attrs(o, v, n, out *dom.Node) error {
 	for _, oa := range o.Attrs {
-		va := v.AttrNode(oa.Name)
+		va := m.attr(v, oa.Name)
 		if va == nil {
 			// Invisible attribute: preserved.
 			out.SetAttr(oa.Name, oa.Data)
@@ -232,7 +274,7 @@ func (m *merger) attrs(o, v, n, out *dom.Node) error {
 		}
 	}
 	for _, na := range n.Attrs {
-		if v.AttrNode(na.Name) != nil {
+		if m.attr(v, na.Name) != nil {
 			continue // handled above
 		}
 		if o.AttrNode(na.Name) != nil {

@@ -20,10 +20,10 @@ func TestMergeIdentityProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if view.Doc.DocumentElement() == nil {
+		if view.Empty() {
 			continue
 		}
-		merged, err := core.MergeView(doc, view, view.Doc, func(*dom.Node) bool { return false })
+		merged, err := core.MergeView(doc, view, view.Materialize(), func(*dom.Node) bool { return false })
 		if err != nil {
 			t.Fatalf("seed %d: no-op merge should need no write authority: %v", seed, err)
 		}
@@ -48,13 +48,15 @@ func TestMergePreservationProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if view.Doc.DocumentElement() == nil {
+		if view.Empty() {
 			continue
 		}
-		// The original nodes that survived into the view.
+		// The original nodes that survived into the view. OriginOf is
+		// pipeline-agnostic: the Origin map under the legacy clone
+		// pipeline, visibility-gated identity under the mask pipeline.
 		visibleOrig := make(map[*dom.Node]bool)
 		view.Doc.Walk(func(n *dom.Node) bool {
-			if o := view.Origin[n]; o != nil {
+			if o := view.OriginOf(n); o != nil {
 				visibleOrig[o] = true
 			}
 			return true
@@ -68,7 +70,7 @@ func TestMergePreservationProperty(t *testing.T) {
 		})
 
 		// Random edits on a copy of the view.
-		edited := view.Doc.Clone()
+		edited := view.Materialize().Clone()
 		rng := rand.New(rand.NewSource(seed * 97))
 		mutateVisible(rng, edited.DocumentElement())
 

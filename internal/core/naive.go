@@ -35,7 +35,7 @@ func (e *Engine) NaiveLabel(req Request, doc *dom.Document, memoize bool) (*Labe
 		axml: axml,
 		adtd: adtd,
 		doc:  doc,
-		out:  &Labeling{labels: make(map[*dom.Node]*Label)},
+		out:  newLabeling(doc.NodeCount()),
 	}
 	if memoize {
 		nl.sets = make(map[*authz.Authorization]map[*dom.Node]bool)
@@ -46,9 +46,9 @@ func (e *Engine) NaiveLabel(req Request, doc *dom.Document, memoize bool) (*Labe
 	}
 	var walk func(n *dom.Node)
 	walk = func(n *dom.Node) {
-		nl.out.labels[n] = nl.finalLabel(n)
+		*nl.out.at(n) = *nl.finalLabel(n)
 		for _, a := range n.Attrs {
-			nl.out.labels[a] = nl.finalLabel(a)
+			*nl.out.at(a) = *nl.finalLabel(a)
 		}
 		for _, c := range n.Children {
 			if c.Type == dom.ElementNode {

@@ -14,17 +14,30 @@ import (
 // requests in the form of generic queries, with the obvious security
 // semantics: query(doc) ≡ query(view(doc)).
 //
-// The result is a node-set in document order; nodes belong to the view
-// document and may be serialized with dom.MarkupString.
+// Under the mask pipeline the expression is evaluated against the
+// lazily materialized view tree rather than node-set-filtered through
+// the mask: predicates, string-values and path steps would otherwise
+// run over the shared original and could leak hidden content (for
+// example //x[@secret='v'] observing a masked attribute). Materializing
+// restores the legacy evaluation domain exactly, and the sync.Once
+// cache amortizes it across queries on the same view.
+//
+// The result is a node-set in document order; nodes belong to the
+// (materialized) view document and may be serialized with
+// dom.MarkupString.
 func (v *View) Query(expr string) ([]*dom.Node, error) {
 	p, err := xpath.Compile(expr)
 	if err != nil {
 		return nil, err
 	}
-	if v.Doc.DocumentElement() == nil {
+	if v.Empty() {
 		return nil, nil
 	}
-	return p.SelectDoc(v.Doc)
+	qdoc := v.Materialize()
+	if qdoc.DocumentElement() == nil {
+		return nil, nil
+	}
+	return p.SelectDoc(qdoc)
 }
 
 // QueryResult wraps query matches as an XML document

@@ -54,7 +54,7 @@ func TestTimeBoundedAuthorization(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := view.Doc.DocumentElement() != nil
+		got := !view.Empty()
 		if got != c.visible {
 			t.Errorf("at %s: visible = %v, want %v", c.at.Format(time.RFC3339), got, c.visible)
 		}

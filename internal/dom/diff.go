@@ -140,18 +140,22 @@ func diffElement(o, n *Node, out *[]Change) {
 	}
 
 	// Direct character data (text, CDATA, comments, PIs) as one unit.
-	if contentKey(o) != contentKey(n) {
+	if contentKey(o, nil) != contentKey(n, nil) {
 		*out = append(*out, Change{Kind: EditContent, Old: o, New: n})
 	}
 }
 
 // contentKey summarizes an element's direct character data (text,
-// CDATA, comments, PIs). Element children are excluded: their changes
-// are reported separately by the alignment, and including them here
-// would double-report pure insertions/deletions as content edits.
-func contentKey(n *Node) string {
+// CDATA, comments, PIs), restricted to mask-visible children. Element
+// children are excluded: their changes are reported separately by the
+// alignment, and including them here would double-report pure
+// insertions/deletions as content edits.
+func contentKey(n *Node, mask Bitmask) string {
 	var b []byte
 	for _, c := range n.Children {
+		if !mask.Visible(c) {
+			continue
+		}
 		switch c.Type {
 		case TextNode:
 			b = append(b, 't')
@@ -181,7 +185,13 @@ func AlignByName(a, b []*Node) (ma, mb []int) { return lcsMatch(a, b) }
 // ContentKey summarizes an element's direct character data; two
 // elements with equal keys have identical text/CDATA/comment/PI
 // content in the same order.
-func ContentKey(n *Node) string { return contentKey(n) }
+func ContentKey(n *Node) string { return contentKey(n, nil) }
+
+// ContentKeyMasked is ContentKey restricted to mask-visible children —
+// the content of an element as a masked view presents it. The
+// write-through-views merge uses it to detect content edits against
+// what the requester was actually shown.
+func ContentKeyMasked(n *Node, mask Bitmask) string { return contentKey(n, mask) }
 
 // lcsMatch aligns two element lists by name with a classic O(n·m) LCS;
 // it returns, for each side, the matched index on the other side (-1

@@ -30,6 +30,10 @@ type Document struct {
 
 	// DocType is the document type declaration, or nil.
 	DocType *DocType
+
+	// nodeCount is the number of nodes assigned by the last Renumber;
+	// zero means the document has never been renumbered.
+	nodeCount int
 }
 
 // NewDocument returns an empty document with a fresh document node.
@@ -74,7 +78,22 @@ func (d *Document) Renumber() int {
 		}
 	}
 	walk(d.Node)
+	d.nodeCount = next
 	return next
+}
+
+// NodeCount returns the number of nodes in the document as of the last
+// Renumber, renumbering first if the document never was. Together with
+// Renumber it maintains the dense-index invariant the mask pipeline
+// relies on: every node's Order lies in [0, NodeCount()) and no two
+// nodes share one. Callers that mutate the tree must Renumber before
+// relying on NodeCount again; documents shared between goroutines must
+// be renumbered before they are shared (the parser does this).
+func (d *Document) NodeCount() int {
+	if d.nodeCount == 0 {
+		return d.Renumber()
+	}
+	return d.nodeCount
 }
 
 // Clone returns a deep copy of the document, renumbered.
@@ -117,6 +136,52 @@ func (d *Document) CloneWithMap() (*Document, map[*Node]*Node) {
 	}
 	c.Renumber()
 	return c, origin
+}
+
+// CloneMasked returns a deep copy of the document restricted to the
+// mask-visible nodes: an invisible node is dropped together with its
+// subtree (the mask computed by the security engine never marks a node
+// visible under an invisible ancestor, so no content is lost). A nil
+// mask clones everything. The copy is renumbered.
+//
+// This materializes a masked view as an ordinary document — the same
+// tree the legacy clone-then-prune pipeline produced — for consumers
+// that need a standalone tree (validation, offline tools). The serve
+// path never calls it; it serializes through the mask instead.
+func (d *Document) CloneMasked(mask Bitmask) *Document {
+	var cloneNode func(n *Node) *Node
+	cloneNode = func(n *Node) *Node {
+		c := &Node{Type: n.Type, Name: n.Name, Data: n.Data, Order: n.Order, Defaulted: n.Defaulted}
+		for _, a := range n.Attrs {
+			if !mask.Visible(a) {
+				continue
+			}
+			ac := cloneNode(a)
+			ac.Parent = c
+			c.Attrs = append(c.Attrs, ac)
+		}
+		for _, ch := range n.Children {
+			if !mask.Visible(ch) {
+				continue
+			}
+			cc := cloneNode(ch)
+			cc.Parent = c
+			c.Children = append(c.Children, cc)
+		}
+		return c
+	}
+	c := &Document{
+		Node:       cloneNode(d.Node),
+		Version:    d.Version,
+		Encoding:   d.Encoding,
+		Standalone: d.Standalone,
+	}
+	if d.DocType != nil {
+		dt := *d.DocType
+		c.DocType = &dt
+	}
+	c.Renumber()
+	return c
 }
 
 // CountNodes returns the number of element and attribute nodes in the

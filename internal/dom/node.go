@@ -89,6 +89,13 @@ type Node struct {
 	Defaulted bool
 }
 
+// Index returns the node's dense preorder index within its document —
+// the same value as Order, under the name the mask pipeline uses.
+// Indexes are dense in [0, Document.NodeCount()) after Renumber; they
+// key the per-request labeling slice and the visibility Bitmask, and
+// are reassigned (invalidating both) whenever the document changes.
+func (n *Node) Index() int { return n.Order }
+
 // NewElement returns a parentless element node with the given tag name.
 func NewElement(name string) *Node {
 	return &Node{Type: ElementNode, Name: name}

@@ -23,6 +23,14 @@ type WriteOptions struct {
 	// DocTypeSystemID overrides the DOCTYPE system identifier, used by
 	// the security processor to point views at the loosened DTD.
 	DocTypeSystemID string
+
+	// Mask, when non-nil, restricts serialization to the mask-visible
+	// nodes of the document: invisible elements, attributes and
+	// character data are skipped as if they had been pruned from the
+	// tree. This is the unparse step of the mask-based view pipeline —
+	// the output is byte-identical to serializing a clone pruned to the
+	// same visibility, without materializing that clone.
+	Mask Bitmask
 }
 
 // EscapeText escapes character data for inclusion as XML content.
@@ -118,7 +126,10 @@ func (d *Document) Write(w io.Writer, opts WriteOptions) error {
 		ew.str(">\n")
 	}
 	for _, c := range d.Node.Children {
-		writeNode(ew, c, opts.Indent, 0)
+		if !opts.Mask.Visible(c) {
+			continue
+		}
+		writeMasked(ew, c, opts.Indent, 0, opts.Mask)
 		if opts.Indent != "" {
 			ew.str("\n")
 		}
@@ -150,12 +161,15 @@ func MarkupString(n *Node) string {
 	return b.String()
 }
 
-// hasElementContent reports whether n's children are exclusively
-// elements, comments and PIs (possibly with whitespace-only text), so
-// that pretty-printing may safely indent them.
-func hasElementContent(n *Node) bool {
+// hasElementContent reports whether n's mask-visible children are
+// exclusively elements, comments and PIs (possibly with whitespace-only
+// text), so that pretty-printing may safely indent them.
+func hasElementContent(n *Node, mask Bitmask) bool {
 	any := false
 	for _, c := range n.Children {
+		if !mask.Visible(c) {
+			continue
+		}
 		switch c.Type {
 		case TextNode, CDATANode:
 			if strings.TrimSpace(c.Data) != "" {
@@ -168,25 +182,46 @@ func hasElementContent(n *Node) bool {
 	return any
 }
 
+// writeNode serializes the full subtree rooted at n.
 func writeNode(w *errWriter, n *Node, indent string, depth int) {
+	writeMasked(w, n, indent, depth, nil)
+}
+
+// writeMasked serializes the subtree rooted at n, emitting only
+// mask-visible nodes (a nil mask emits everything). The caller has
+// already established that n itself is visible.
+func writeMasked(w *errWriter, n *Node, indent string, depth int, mask Bitmask) {
 	switch n.Type {
 	case ElementNode:
 		w.str("<")
 		w.str(n.Name)
 		for _, a := range n.Attrs {
+			if !mask.Visible(a) {
+				continue
+			}
 			w.str(" ")
 			w.str(a.Name)
 			w.str(`="`)
 			w.str(EscapeAttr(a.Data))
 			w.str(`"`)
 		}
-		if len(n.Children) == 0 {
+		empty := true
+		for _, c := range n.Children {
+			if mask.Visible(c) {
+				empty = false
+				break
+			}
+		}
+		if empty {
 			w.str("/>")
 			return
 		}
 		w.str(">")
-		pretty := indent != "" && hasElementContent(n)
+		pretty := indent != "" && hasElementContent(n, mask)
 		for _, c := range n.Children {
+			if !mask.Visible(c) {
+				continue
+			}
 			if pretty {
 				if c.Type == TextNode && strings.TrimSpace(c.Data) == "" {
 					continue
@@ -194,7 +229,7 @@ func writeNode(w *errWriter, n *Node, indent string, depth int) {
 				w.str("\n")
 				w.str(strings.Repeat(indent, depth+1))
 			}
-			writeNode(w, c, indent, depth+1)
+			writeMasked(w, c, indent, depth+1, mask)
 		}
 		if pretty {
 			w.str("\n")
@@ -240,7 +275,9 @@ func writeNode(w *errWriter, n *Node, indent string, depth int) {
 		w.str(`"`)
 	case DocumentNode:
 		for _, c := range n.Children {
-			writeNode(w, c, indent, depth)
+			if mask.Visible(c) {
+				writeMasked(w, c, indent, depth, mask)
+			}
 		}
 	}
 }

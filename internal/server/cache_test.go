@@ -133,3 +133,66 @@ func TestViewCacheLRUEviction(t *testing.T) {
 		t.Error("put should replace existing entries")
 	}
 }
+
+// TestViewCachePerDocumentTimeBoundedBypass: a validity window on one
+// document's authorizations must not disable caching for every other
+// document — the bypass is per document, keyed on the authorizations
+// actually applicable to it.
+func TestViewCachePerDocumentTimeBoundedBypass(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	if err := site.Docs.AddDocument("memo.xml", `<memo><body>hello</body></memo>`); err != nil {
+		t.Fatal(err)
+	}
+	a := authz.MustParse(`<<Public,*,*>,memo.xml:/memo,read,+,R>`)
+	a.Validity.NotAfter = time.Now().Add(time.Hour)
+	if err := site.Auths.Add(authz.InstanceLevel, a); err != nil {
+		t.Fatal(err)
+	}
+	// memo.xml views are time-dependent: never cached.
+	for i := 0; i < 2; i++ {
+		if _, err := site.Process(labexample.Tom, "memo.xml"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, _ := site.CacheStats(); hits != 0 {
+		t.Errorf("time-bounded document served from cache: %d hits", hits)
+	}
+	// CSlab.xml has no time-bounded authorizations: still cached.
+	for i := 0; i < 2; i++ {
+		if _, err := site.Process(labexample.Tom, labexample.DocURI); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, _ := site.CacheStats(); hits != 1 {
+		t.Errorf("unrelated document lost its cache: %d hits, want 1", hits)
+	}
+}
+
+// TestViewCacheNotStaleAcrossValidityExpiry is the regression test for
+// the cache/validity interaction: when an applicable authorization's
+// validity window lapses between two requests — with no store or
+// document change to bump a generation — the second request must
+// reflect the lapse, not a memoized view from inside the window.
+func TestViewCacheNotStaleAcrossValidityExpiry(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	a := authz.MustParse(`<<Public,*,*>,CSlab.xml://fund,read,+,R>`)
+	a.Validity.NotAfter = time.Now().Add(60 * time.Millisecond)
+	if err := site.Auths.Add(authz.InstanceLevel, a); err != nil {
+		t.Fatal(err)
+	}
+	inside, err := site.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inside.XML, "MURST") {
+		t.Fatalf("fund grant not in force inside its window:\n%s", inside.XML)
+	}
+	time.Sleep(80 * time.Millisecond)
+	after, err := site.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(after.XML, "MURST") {
+		t.Errorf("expired grant still visible (stale cached view):\n%s", after.XML)
+	}
+}

@@ -113,3 +113,66 @@ func TestConcurrentCachedViewImmutability(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestConcurrentUncachedViewsShareOneDocument pins the mask pipeline's
+// core concurrency contract: with no view cache, every request labels
+// and masks the SAME parsed document — nothing is cloned per request —
+// so view computation must never write to the shared tree. Mixed
+// Process and QueryDoc traffic from many goroutines (the latter also
+// exercising the lazy one-time view materialization) must produce
+// byte-identical responses throughout and leave the stored document
+// untouched. Run with -race.
+func TestConcurrentUncachedViewsShareOneDocument(t *testing.T) {
+	site := labSite(t) // no EnableViewCache: every request recomputes
+	before := site.Docs.Doc(labexample.DocURI).Doc.String()
+
+	baseRes, err := site.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseQuery, err := site.QueryDoc(labexample.Tom, labexample.DocURI, "//title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantXML, wantQuery := baseRes.XML, baseQuery.String()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if (g+i)%2 == 0 {
+					res, err := site.Process(labexample.Tom, labexample.DocURI)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.XML != wantXML {
+						errs <- fmt.Errorf("view drifted across concurrent recomputations")
+						return
+					}
+				} else {
+					qd, err := site.QueryDoc(labexample.Tom, labexample.DocURI, "//title")
+					if err != nil {
+						errs <- err
+						return
+					}
+					if qd.String() != wantQuery {
+						errs <- fmt.Errorf("query result drifted across concurrent recomputations")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if after := site.Docs.Doc(labexample.DocURI).Doc.String(); after != before {
+		t.Errorf("shared document mutated by view computation:\nbefore %s\nafter  %s", before, after)
+	}
+}

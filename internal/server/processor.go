@@ -144,10 +144,12 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 	if sd == nil {
 		return nil, ErrNotFound
 	}
-	// The cache is bypassed when any authorization is time-bounded
-	// (views then depend on the clock) or when documents re-parse per
-	// request (the operator asked for the fully on-line cycle).
-	useCache := s.cache != nil && !s.Auths.HasTimeBounded() && !s.ParsePerRequest
+	// The cache is bypassed when any authorization applicable to THIS
+	// document is time-bounded (its views then depend on the clock) or
+	// when documents re-parse per request (the operator asked for the
+	// fully on-line cycle). Validity windows on unrelated documents
+	// leave this document's cache effective.
+	useCache := s.cache != nil && !s.Auths.HasTimeBoundedFor(uri, sd.DTDURI) && !s.ParsePerRequest
 	var key viewKey
 	if useCache {
 		key = s.cache.key(rq, uri, s.Auths.Generation(), s.Docs.Generation())
@@ -173,7 +175,7 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 	if err != nil {
 		return nil, err
 	}
-	if view.Doc.DocumentElement() == nil {
+	if view.Empty() {
 		return nil, ErrNotFound
 	}
 	if s.ValidateViews && sd.DTDURI != "" {
@@ -182,14 +184,17 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 		if loose == nil {
 			return nil, fmt.Errorf("server: document %q references unregistered DTD %q", uri, sd.DTDURI)
 		}
-		if errs := loose.Validate(view.Doc, dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
+		if errs := loose.Validate(view.Materialize(), dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
 			return nil, fmt.Errorf("server: view of %q violates the loosened DTD: %w", uri, errs)
 		}
 		s.observeStage("validate", start)
 	}
 	start := time.Now()
 	var b strings.Builder
-	err = view.Doc.Write(&b, dom.WriteOptions{
+	// Unparse through the visibility mask: the shared document is
+	// serialized directly, emitting only mask-visible nodes, with no
+	// per-request tree to build or discard.
+	err = view.WriteXML(&b, dom.WriteOptions{
 		Indent: "  ",
 		// The view's DOCTYPE keeps the same system identifier; the
 		// site serves the loosened DTD under the original's URI.

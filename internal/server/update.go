@@ -59,7 +59,7 @@ func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) 
 	if err != nil {
 		return err
 	}
-	if readView.Doc.DocumentElement() == nil {
+	if readView.Empty() {
 		return ErrNotFound
 	}
 	// Parse the replacement before judging it (malformed input is a
