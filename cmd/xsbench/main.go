@@ -10,9 +10,11 @@
 //	xsbench -exp all            run everything
 //	xsbench -exp fig3           one experiment: fig1 fig3 loosen online
 //	                            pipeline conflict subjects xpath cache
-//	                            stages view
+//	                            stages view authindex
 //	xsbench -exp view -json BENCH_view.json
 //	                            clone vs mask serve path, JSON output
+//	xsbench -exp authindex -json BENCH_authindex.json
+//	                            cold vs warm node-set-index labeling
 //	xsbench -exp online -quick  smaller sweeps
 package main
 
@@ -41,25 +43,26 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex all")
 	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
-	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view experiment to this file")
+	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view/authindex experiments to this file")
 	flag.Parse()
 
 	experiments := map[string]func() error{
-		"fig1":     expFig1,
-		"fig3":     expFig3,
-		"loosen":   expLoosen,
-		"online":   expOnline,
-		"pipeline": expPipeline,
-		"conflict": expConflict,
-		"subjects": expSubjects,
-		"xpath":    expXPath,
-		"cache":    expCache,
-		"stages":   expStages,
-		"view":     expView,
+		"fig1":      expFig1,
+		"fig3":      expFig3,
+		"loosen":    expLoosen,
+		"online":    expOnline,
+		"pipeline":  expPipeline,
+		"conflict":  expConflict,
+		"subjects":  expSubjects,
+		"xpath":     expXPath,
+		"cache":     expCache,
+		"stages":    expStages,
+		"view":      expView,
+		"authindex": expAuthIndex,
 	}
-	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view"}
+	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex"}
 
 	var names []string
 	if *exp == "all" {

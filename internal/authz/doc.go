@@ -1,0 +1,11 @@
+// Package authz implements the paper's access authorizations
+// (Definition 3): 5-tuples ⟨subject, object, action, sign, type⟩ where
+// the object is a document or DTD URI optionally refined by an XPath
+// expression, the sign grants (+) or denies (-), and the type governs
+// propagation and overriding (Local, Recursive, and their Weak variants).
+//
+// Authorizations are kept in a Store, separated into instance level
+// (attached to XML documents) and schema level (attached to DTDs), and
+// are serialized as XACL documents — themselves XML, as the paper's
+// architecture prescribes.
+package authz

@@ -1,0 +1,14 @@
+// Package core implements the paper's primary contribution: the
+// compute-view algorithm (Section 6, Figure 2) that, given a requester
+// and an XML document, labels every element and attribute with the sign
+// of the authorizations that win for it and prunes the tree down to the
+// requester's view.
+//
+// The labeling associates to each node n the 6-tuple
+// ⟨L, R, LD, RD, LW, RW⟩ over {+, -, ε}: instance-level Local and
+// Recursive, schema(DTD)-level Local and Recursive, and instance-level
+// Local Weak and Recursive Weak. Propagation follows the "most specific
+// object takes precedence" principle: authorizations on a node override
+// those propagated from ancestors, and instance-level authorizations,
+// unless weak, override schema-level ones.
+package core

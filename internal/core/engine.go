@@ -37,6 +37,10 @@ type Engine struct {
 	mu       sync.RWMutex
 	policies map[string]Policy // per-document URI
 	stages   StageObserver
+	// authIndex caches per-document authorization node-sets so
+	// steady-state labeling does zero XPath work; nil disables caching
+	// (the differential-testing oracle). NewEngine installs one.
+	authIndex *AuthIndex
 }
 
 // StageObserver receives the duration of each named stage of the
@@ -70,15 +74,58 @@ func NewEngine(dir *subjects.Directory, store *authz.Store) *Engine {
 		Store:     store,
 		Default:   DefaultPolicy,
 		policies:  make(map[string]Policy),
+		authIndex: NewAuthIndex(),
 	}
+}
+
+// AuthIndex returns the engine's node-set index, or nil when disabled.
+func (e *Engine) AuthIndex() *AuthIndex {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.authIndex
+}
+
+// SetAuthIndex installs (or, with nil, disables) the engine's node-set
+// index. With the index disabled every request evaluates every
+// applicable path expression — the uncached oracle the differential
+// tests compare against. Safe to call concurrently with Label.
+func (e *Engine) SetAuthIndex(x *AuthIndex) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.authIndex = x
+}
+
+// WarmAuthIndex pre-fills the node-set index for doc with every
+// authorization attached to docURI (instance level) and dtdURI (schema
+// level), evaluating up to workers paths in parallel. A no-op when the
+// index is disabled. The warm-up covers all subjects: node-sets do not
+// depend on the requester, so the first request of every requester hits.
+func (e *Engine) WarmAuthIndex(doc *dom.Document, docURI, dtdURI string, workers int) {
+	idx := e.AuthIndex()
+	if idx == nil || e.Store == nil {
+		return
+	}
+	gen := e.Store.Generation()
+	auths := e.Store.ForDocument(docURI)
+	if dtdURI != "" {
+		auths = append(auths, e.Store.ForSchema(dtdURI)...)
+	}
+	idx.Warm(doc, gen, auths, workers)
 }
 
 // SetPolicy installs a document-specific policy (the paper allows one
 // policy per document, possibly different across a server).
 func (e *Engine) SetPolicy(uri string, p Policy) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	idx := e.authIndex
 	e.policies[uri] = p
+	e.mu.Unlock()
+	// Conservatively drop cached node-sets: the sets themselves depend
+	// only on (path, document), but a policy change is rare and flushing
+	// keeps the invalidation story uniform with store mutations.
+	if idx != nil {
+		idx.InvalidateAll()
+	}
 }
 
 // PolicyFor returns the policy in force for a document URI.
@@ -300,25 +347,47 @@ func (e *Engine) Label(req Request, doc *dom.Document) (*Labeling, Stats, error)
 		out:   newLabeling(n),
 	}
 	// Set-at-a-time object evaluation: each authorization's path
-	// expression runs once per request, not once per node. This is the
-	// heart of the paper's "fast on-line computation" claim (E5
-	// measures it against the per-node alternative).
-	for _, a := range axml {
+	// expression runs once per request, not once per node — the heart of
+	// the paper's "fast on-line computation" claim (E5 measures it
+	// against the per-node alternative). With the node-set index enabled
+	// the path runs once per (document, store generation) instead: the
+	// cached dense index set is intersected with the per-request subject
+	// filter already applied by applicable(), so the steady state does
+	// zero XPath work. The uncached branch is kept verbatim as the
+	// differential oracle.
+	idx := e.AuthIndex()
+	var gen uint64
+	if idx != nil {
+		gen = e.Store.Generation()
+	}
+	collect := func(a *authz.Authorization, schema bool) error {
+		if idx != nil {
+			set, table, err := idx.lookup(doc, gen, a)
+			if err != nil {
+				return fmt.Errorf("core: evaluating %s: %w", a, err)
+			}
+			for _, i := range set {
+				l.add(table[i], a, schema)
+			}
+			return nil
+		}
 		nodes, err := a.SelectNodes(doc)
 		if err != nil {
-			return nil, Stats{}, fmt.Errorf("core: evaluating %s: %w", a, err)
+			return fmt.Errorf("core: evaluating %s: %w", a, err)
 		}
 		for _, n := range nodes {
-			l.add(n, a, false)
+			l.add(n, a, schema)
+		}
+		return nil
+	}
+	for _, a := range axml {
+		if err := collect(a, false); err != nil {
+			return nil, Stats{}, err
 		}
 	}
 	for _, a := range adtd {
-		nodes, err := a.SelectNodes(doc)
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("core: evaluating %s: %w", a, err)
-		}
-		for _, n := range nodes {
-			l.add(n, a, true)
+		if err := collect(a, true); err != nil {
+			return nil, Stats{}, err
 		}
 	}
 	root := doc.DocumentElement()

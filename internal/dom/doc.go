@@ -1,0 +1,13 @@
+// Package dom implements a lightweight document object model for XML
+// documents, in the spirit of DOM Level 1 (Core) as referenced by the
+// paper's security-processor architecture (Section 7).
+//
+// Unlike encoding/xml's stream view, this package materializes the
+// document as a tree in which elements *and attributes* are first-class
+// nodes: the access-control labeling algorithm of the paper (Figure 2)
+// assigns an authorization 6-tuple to every element and every attribute,
+// so attributes must be addressable tree nodes, not map entries.
+//
+// Nodes carry a document-order index (see (*Document).Renumber) used by
+// the XPath engine to return node-sets in document order.
+package dom

@@ -1,16 +1,3 @@
-// Package obs is a small, dependency-free observability kit for the
-// security processor: atomic counters, gauges, and fixed-bucket latency
-// histograms collected in a Registry that can render itself in the
-// Prometheus text exposition format (WritePrometheus) or as a JSON-able
-// snapshot (Snapshot).
-//
-// The kit deliberately implements only the subset of the Prometheus
-// data model the server needs — counters, gauges, histograms, and
-// string-valued labels — so the daemon can be scraped by any
-// Prometheus-compatible collector without adding a dependency. All
-// metric types are safe for concurrent use; the hot-path operations
-// (Inc, Add, Observe, and Vec lookups of existing children) are
-// lock-free or take only a read lock.
 package obs
 
 import (

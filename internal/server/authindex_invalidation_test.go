@@ -1,0 +1,66 @@
+package server
+
+import (
+	"testing"
+
+	"xmlsec/internal/labexample"
+)
+
+// denyPublicXACL revokes (for Tom's Foreign group) exactly the public
+// papers his paper-example view rests on, as an XACL document — the
+// same path a policy administrator takes through cmd/xacl or LoadXACL.
+const denyPublicXACL = `<?xml version="1.0"?>
+<xacl about="CSlab.xml">
+  <authorization>
+    <subject ug="Foreign"/>
+    <object path="/laboratory//paper[./@category='public']"/>
+    <action>read</action>
+    <sign>-</sign>
+    <type>R</type>
+  </authorization>
+</xacl>`
+
+// Installing authorizations through LoadXACL (the cmd/xacl ingestion
+// path) must invalidate the engine's node-set index: the very next
+// request labels under the new policy, with no stale node-sets served.
+func TestLoadXACLInvalidatesAuthIndex(t *testing.T) {
+	site := labSite(t)
+
+	before, err := site.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := site.Engine.AuthIndex().Stats(); st.Fills == 0 {
+		t.Fatalf("first request filled no node-sets: %+v", st)
+	}
+
+	if _, err := site.LoadXACL(denyPublicXACL); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := site.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.XML == before.XML {
+		t.Fatal("view unchanged after XACL deny: stale node-sets served")
+	}
+
+	// The index-free oracle on an identically-mutated site defines the
+	// correct post-mutation view.
+	oracle := labSite(t)
+	oracle.Engine.SetAuthIndex(nil)
+	if _, err := oracle.LoadXACL(denyPublicXACL); err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Process(labexample.Tom, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.XML != want.XML {
+		t.Fatalf("post-mutation view diverges from the uncached oracle:\nindexed:\n%s\noracle:\n%s", after.XML, want.XML)
+	}
+	if st := site.Engine.AuthIndex().Stats(); st.Invalidations == 0 {
+		t.Fatalf("XACL mutation recorded no index invalidation: %+v", st)
+	}
+}

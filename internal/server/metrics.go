@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"xmlsec/internal/core"
 	"xmlsec/internal/obs"
 )
 
@@ -25,6 +26,7 @@ type siteMetrics struct {
 	httpReqs  *obs.CounterVec   // route, status
 	httpDur   *obs.HistogramVec // route
 	processed *obs.CounterVec   // outcome
+	authFill  *obs.Histogram    // node-set index fill latency
 }
 
 // Metrics returns the site's metric registry, initializing it on first
@@ -86,9 +88,50 @@ func (s *Site) initMetrics() {
 				}
 				return float64(len(s.Docs.URIs()))
 			})
+		authIndexStats := func() core.AuthIndexStats {
+			if s.Engine == nil {
+				return core.AuthIndexStats{}
+			}
+			if idx := s.Engine.AuthIndex(); idx != nil {
+				return idx.Stats()
+			}
+			return core.AuthIndexStats{}
+		}
+		reg.NewCounterFunc("xmlsec_authindex_hits_total",
+			"Node-set index lookups that found a cached set (no XPath work).", func() float64 {
+				return float64(authIndexStats().Hits)
+			})
+		reg.NewCounterFunc("xmlsec_authindex_misses_total",
+			"Node-set index lookups that had to wait for a fill.", func() float64 {
+				return float64(authIndexStats().Misses)
+			})
+		reg.NewCounterFunc("xmlsec_authindex_fills_total",
+			"Node-set index fills (actual XPath evaluations; misses share fills under concurrency).", func() float64 {
+				return float64(authIndexStats().Fills)
+			})
+		reg.NewCounterFunc("xmlsec_authindex_invalidations_total",
+			"Node-set index entries dropped (store mutations, document replacement, policy changes).", func() float64 {
+				return float64(authIndexStats().Invalidations)
+			})
+		reg.NewGaugeFunc("xmlsec_authindex_documents",
+			"Documents currently held in the node-set index.", func() float64 {
+				return float64(authIndexStats().Documents)
+			})
+		reg.NewGaugeFunc("xmlsec_authindex_entries",
+			"Cached node-sets across all indexed documents.", func() float64 {
+				return float64(authIndexStats().Entries)
+			})
+		m.authFill = reg.NewHistogram("xmlsec_authindex_fill_duration_seconds",
+			"Latency of node-set index fills (one authorization path evaluated over one document).",
+			obs.DefStageBuckets)
 		s.metrics = m
 		if s.Engine != nil {
 			s.Engine.SetStageObserver(stageRecorder{m.stage})
+			if idx := s.Engine.AuthIndex(); idx != nil {
+				idx.SetFillObserver(func(d time.Duration) {
+					m.authFill.Observe(d.Seconds())
+				})
+			}
 		}
 	})
 }

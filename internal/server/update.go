@@ -109,7 +109,21 @@ func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) 
 			return fmt.Errorf("server: update of %q is not valid: %w", uri, errs)
 		}
 	}
-	return s.Docs.AddDocument(uri, merged.String())
+	oldDoc := sd.Doc
+	if err := s.Docs.AddDocument(uri, merged.String()); err != nil {
+		return err
+	}
+	// The PUT replaced the parsed tree: release the superseded document
+	// from the node-set index eagerly (its pointer would never be looked
+	// up again, only pinned) and pre-fill the successor so the next
+	// requester's labeling finds warm node-sets.
+	if idx := s.Engine.AuthIndex(); idx != nil {
+		idx.InvalidateDoc(oldDoc)
+		if nd := s.Docs.Doc(uri); nd != nil {
+			s.Engine.WarmAuthIndex(nd.Doc, uri, nd.DTDURI, 4)
+		}
+	}
+	return nil
 }
 
 // QueryDoc evaluates an XPath query against the requester's view of a

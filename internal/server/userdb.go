@@ -1,9 +1,3 @@
-// Package server implements the paper's server-side security processor
-// (Section 7): a component that, for each request, parses the requested
-// XML document, labels it with the requester's authorizations, prunes it
-// to the requester's view, and unparses the result — exposed over HTTP
-// with local authentication, as the paper's architecture prescribes
-// (identities are established and authenticated by the server).
 package server
 
 import (

@@ -1,0 +1,9 @@
+// Package subjects implements the paper's authorization subjects
+// (Section 3): server-local users organized into (possibly nested)
+// groups, physical locations identified by numeric IP addresses or
+// symbolic names, location patterns with wild cards, and the
+// authorization subject hierarchy ASH with its partial order — the order
+// that drives both applicability (an authorization for subject s applies
+// to every requester r with r ≤ s) and conflict resolution ("most
+// specific subject takes precedence").
+package subjects

@@ -1,0 +1,101 @@
+package xmlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// billionLaughs builds the classic amplification shape: a large leaf
+// entity referenced ten times per layer, two layers deep, expanding
+// &l2; to 100 copies of the 64 KiB leaf (~6.4 MiB from a ~64 KiB
+// input). Its reference nesting is shallow, so depth- and
+// splice-counting alone do not bound the output — the cumulative
+// expansion budget must.
+func billionLaughs() string {
+	leaf := strings.Repeat("l", 64<<10)
+	refs := func(name string) string { return strings.Repeat("&"+name+";", 10) }
+	return `<?xml version="1.0"?>
+<!DOCTYPE lolz [
+ <!ELEMENT lolz (#PCDATA)>
+ <!ENTITY lol "` + leaf + `">
+ <!ENTITY lol1 "` + refs("lol") + `">
+ <!ENTITY lol2 "` + refs("lol1") + `">
+]>
+<lolz>&lol2;</lolz>`
+}
+
+func TestEntityExpansionBudgetBillionLaughs(t *testing.T) {
+	_, err := Parse(billionLaughs(), Options{})
+	if err == nil {
+		t.Fatal("billion-laughs document parsed without error")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("error does not name the expansion budget: %v", err)
+	}
+}
+
+// The same amplification inside an attribute value goes through the
+// expandEntityText path, which must share the budget with content.
+func TestEntityExpansionBudgetAttribute(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<!DOCTYPE a [
+ <!ELEMENT a EMPTY>
+ <!ATTLIST a v CDATA #IMPLIED>
+ <!ENTITY lol "lollollollollollollollollollol">
+ <!ENTITY lol1 "&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;">
+ <!ENTITY lol2 "&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;">
+ <!ENTITY lol3 "&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;">
+ <!ENTITY lol4 "&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;">
+ <!ENTITY lol5 "&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;">
+]>
+<a v="&lol5;"/>`
+	_, err := Parse(src, Options{})
+	if err == nil {
+		t.Fatal("attribute-value amplification parsed without error")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("error does not name the expansion budget: %v", err)
+	}
+}
+
+// Legitimate entity use — far below the default budget — keeps working,
+// in content and in attribute values.
+func TestEntityExpansionWithinBudget(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<!DOCTYPE a [
+ <!ELEMENT a (#PCDATA)>
+ <!ATTLIST a v CDATA #IMPLIED>
+ <!ENTITY who "world">
+ <!ENTITY greet "hello &who;">
+]>
+<a v="&greet;">&greet;!</a>`
+	res, err := Parse(src, Options{})
+	if err != nil {
+		t.Fatalf("legitimate entities rejected: %v", err)
+	}
+	root := res.Doc.DocumentElement()
+	if got, _ := root.Attr("v"); got != "hello world" {
+		t.Fatalf("attribute expansion: got %q, want %q", got, "hello world")
+	}
+	if got := root.Text(); got != "hello world!" {
+		t.Fatalf("content expansion: got %q, want %q", got, "hello world!")
+	}
+}
+
+// The budget is configurable: a tiny MaxEntityExpansion rejects even
+// modest expansion, and a raised one admits documents the default
+// would (hypothetically) reject.
+func TestEntityExpansionBudgetConfigurable(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<!DOCTYPE a [
+ <!ELEMENT a (#PCDATA)>
+ <!ENTITY e "0123456789">
+]>
+<a>&e;&e;&e;</a>`
+	if _, err := Parse(src, Options{MaxEntityExpansion: 25}); err == nil {
+		t.Fatal("25-byte budget admitted 30 bytes of expansion")
+	}
+	if _, err := Parse(src, Options{MaxEntityExpansion: 30}); err != nil {
+		t.Fatalf("30-byte budget rejected 30 bytes of expansion: %v", err)
+	}
+}

@@ -1,16 +1,3 @@
-// Package xmlparse implements an XML 1.0 parser producing dom trees and
-// parsed DTDs.
-//
-// The standard library's encoding/xml is a streaming tokenizer that
-// neither parses DTD subsets nor exposes attribute defaulting, both of
-// which the paper's security processor requires (documents must be valid
-// with respect to their DTD, schema-level authorizations attach to the
-// DTD, and the loosening transformation rewrites it). This parser covers
-// the XML 1.0 logical structure: prolog, DOCTYPE with internal subset
-// (and external subset through a Loader), elements, attributes,
-// character data, CDATA sections, comments, processing instructions,
-// character references, and internal general entities. Namespaces are
-// out of scope, as in the paper.
 package xmlparse
 
 import (
@@ -94,7 +81,20 @@ type Options struct {
 	// ApplyDefaults adds DTD-defaulted attributes to elements as the
 	// document is parsed (requires a DTD).
 	ApplyDefaults bool
+
+	// MaxEntityExpansion caps the cumulative bytes of internal
+	// general-entity replacement text one parse may expand, across
+	// content and attribute values. Recursion depth alone does not
+	// bound work — a shallow chain of doubling entities ("billion
+	// laughs") multiplies output exponentially — so the total is
+	// budgeted too. Non-positive selects the 1 MiB default.
+	MaxEntityExpansion int
 }
+
+// defaultMaxEntityExpansion is the entity-expansion budget when
+// Options.MaxEntityExpansion is unset: far above any legitimate
+// document's entity usage, far below an amplification attack's output.
+const defaultMaxEntityExpansion = 1 << 20
 
 // Result carries everything a parse produces.
 type Result struct {
@@ -110,6 +110,7 @@ type Result struct {
 func Parse(input string, opts Options) (*Result, error) {
 	input = strings.TrimPrefix(input, "\xef\xbb\xbf")
 	p := &parser{src: input, line: 1, col: 1, opts: opts}
+	p.entBudget = p.maxEntityExpansion()
 	return p.document()
 }
 
@@ -142,6 +143,25 @@ type parser struct {
 	opts      Options
 	dtd       *dtd.DTD
 	entDepth  int
+	entBudget int // remaining entity-expansion bytes
+}
+
+// chargeEntity debits n bytes of entity replacement text against the
+// parse's cumulative expansion budget.
+func (p *parser) chargeEntity(name string, n int) error {
+	if n > p.entBudget {
+		return p.errf("entity expansion of &%s; exceeds the %d-byte budget (billion-laughs protection; raise Options.MaxEntityExpansion if legitimate)",
+			name, p.maxEntityExpansion())
+	}
+	p.entBudget -= n
+	return nil
+}
+
+func (p *parser) maxEntityExpansion() int {
+	if p.opts.MaxEntityExpansion > 0 {
+		return p.opts.MaxEntityExpansion
+	}
+	return defaultMaxEntityExpansion
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -632,11 +652,14 @@ func (p *parser) reference(inAttr bool) (string, error) {
 		// is out of the paper's scope); treat as empty.
 		return "", nil
 	}
+	if err := p.chargeEntity(name, len(ent.Value)); err != nil {
+		return "", err
+	}
 	if inAttr {
 		if strings.ContainsAny(ent.Value, "<") {
 			return "", p.errf("entity &%s; contains '<', not allowed in attribute value", name)
 		}
-		return expandEntityText(p.dtd, ent.Value, 0)
+		return p.expandEntityText(ent.Value, 0)
 	}
 	if !strings.ContainsAny(ent.Value, "<&") {
 		return ent.Value, nil
@@ -652,8 +675,10 @@ func (p *parser) reference(inAttr bool) (string, error) {
 }
 
 // expandEntityText expands character and general entity references in
-// entity replacement text used inside attribute values.
-func expandEntityText(d *dtd.DTD, s string, depth int) (string, error) {
+// entity replacement text used inside attribute values. Nested
+// expansions are charged against the same cumulative budget as content
+// expansions.
+func (p *parser) expandEntityText(s string, depth int) (string, error) {
 	if depth > 32 {
 		return "", fmt.Errorf("xml: entity recursion in attribute value")
 	}
@@ -687,11 +712,17 @@ func expandEntityText(d *dtd.DTD, s string, depth int) (string, error) {
 		case "quot":
 			b.WriteByte('"')
 		default:
-			ent := d.Entities[name]
+			var ent *dtd.EntityDecl
+			if p.dtd != nil {
+				ent = p.dtd.Entities[name]
+			}
 			if ent == nil || !ent.IsInternal() {
 				return "", fmt.Errorf("xml: undeclared entity &%s; in attribute value", name)
 			}
-			exp, err := expandEntityText(d, ent.Value, depth+1)
+			if err := p.chargeEntity(name, len(ent.Value)); err != nil {
+				return "", err
+			}
+			exp, err := p.expandEntityText(ent.Value, depth+1)
 			if err != nil {
 				return "", err
 			}

@@ -1,14 +1,3 @@
-// Package xpath implements the fragment of the W3C XPath 1.0 language
-// that the paper adopts for naming authorization objects (Section 4):
-// absolute and relative location paths, the abbreviated syntax (/, //,
-// ., .., @), the navigation axes (child, descendant, descendant-or-self,
-// parent, ancestor, ancestor-or-self, self, attribute, following-sibling,
-// preceding-sibling), node tests, positional and boolean predicates, the
-// union operator, and the XPath 1.0 core function library.
-//
-// Expressions are compiled once (Compile) and evaluated many times
-// against DOM trees; the security processor compiles the path expression
-// of every authorization when the authorization is loaded.
 package xpath
 
 import (
