@@ -7,17 +7,22 @@
 //
 // Endpoints:
 //
-//	GET /docs/<uri>  view of the document for the authenticated requester
-//	PUT /docs/<uri>  update through the view (write authority)
-//	GET /query/<uri> XPath query over the view (?q=<expr>)
-//	GET /dtds/<uri>  loosened DTD
-//	GET /healthz     liveness
-//	GET /metrics     Prometheus text exposition (stage latencies, HTTP
-//	                 counters, cache and store gauges)
-//	GET /statz       the same metrics as a JSON snapshot
+//	GET /docs/<uri>        view of the document for the authenticated requester
+//	PUT /docs/<uri>        update through the view (write authority)
+//	GET /query/<uri>       XPath query over the view (?q=<expr>)
+//	GET /dtds/<uri>        loosened DTD
+//	GET /healthz           liveness
+//	GET /metrics           Prometheus text exposition (stage latencies, HTTP
+//	                       counters, cache and store gauges)
+//	GET /statz             the same metrics as a JSON snapshot
+//	GET /debug/traces      sampled request traces (-trace; see docs/TRACING.md)
+//	GET /debug/traces/<id> one trace's span waterfall
+//	GET /debug/pprof/      runtime profiles (-pprof)
 //
 // Requesters authenticate with HTTP Basic credentials from users.conf;
-// requests without credentials are served as "anonymous".
+// requests without credentials are served as "anonymous". Every
+// response carries an X-Request-ID header that also appears in the
+// audit record and, for sampled requests, as the trace ID.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"xmlsec/internal/server"
+	"xmlsec/internal/trace"
 )
 
 func main() {
@@ -42,6 +48,13 @@ func main() {
 	perRequest := flag.Bool("parse-per-request", false, "re-parse documents on every request (fully on-line cycle)")
 	cacheSize := flag.Int("view-cache", 0, "enable the per-requester view cache with this many entries (0 = off)")
 	auditPath := flag.String("audit", "", "append JSON-lines audit records to this file")
+	auditMaxBytes := flag.Int64("audit-max-bytes", 0, "rotate the audit file past this size (0 = never rotate)")
+	auditKeep := flag.Int("audit-keep", 3, "rotated audit files to keep (with -audit-max-bytes)")
+	traceOn := flag.Bool("trace", false, "record request traces, served at /debug/traces")
+	traceBuffer := flag.Int("trace-buffer", 64, "completed traces kept in each of the recent and slow rings")
+	traceSample := flag.Int("trace-sample", 0, fmt.Sprintf("trace every Nth request (0 = default 1-in-%d; 1 = every request)", trace.DefaultSampleEvery))
+	traceSlow := flag.Duration("trace-slow", 0, "slow-capture threshold (0 = default 250ms; negative disables)")
+	pprofOn := flag.Bool("pprof", false, "serve runtime profiles at /debug/pprof/ (exposes process internals)")
 	flag.Parse()
 
 	site, err := server.LoadSiteDir(*siteDir)
@@ -51,17 +64,24 @@ func main() {
 	}
 	site.ValidateViews = *validate
 	site.ParsePerRequest = *perRequest
+	site.EnablePprof = *pprofOn
 	if *cacheSize > 0 {
 		site.EnableViewCache(*cacheSize)
 	}
+	if *traceOn {
+		site.EnableTracing(trace.Options{
+			Capacity:      *traceBuffer,
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+	}
 	if *auditPath != "" {
-		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+		w, err := site.SetAuditFile(*auditPath, *auditMaxBytes, *auditKeep)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xmlsecd: opening audit log: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		site.SetAuditLog(f)
+		defer w.Close()
 	}
 
 	log.Printf("xmlsecd: %d documents, %d users, %d authorizations; listening on %s (metrics at /metrics, /statz)",

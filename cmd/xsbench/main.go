@@ -15,6 +15,8 @@
 //	                            clone vs mask serve path, JSON output
 //	xsbench -exp authindex -json BENCH_authindex.json
 //	                            cold vs warm node-set-index labeling
+//	xsbench -exp trace -json BENCH_trace.json
+//	                            traced vs untraced request latency
 //	xsbench -exp online -quick  smaller sweeps
 package main
 
@@ -43,7 +45,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace all")
 	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view/authindex experiments to this file")
 	flag.Parse()
@@ -61,8 +63,9 @@ func main() {
 		"stages":    expStages,
 		"view":      expView,
 		"authindex": expAuthIndex,
+		"trace":     expTrace,
 	}
-	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex"}
+	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace"}
 
 	var names []string
 	if *exp == "all" {

@@ -1,6 +1,7 @@
 package authz
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -210,6 +211,14 @@ func (a *Authorization) String() string {
 // neither elements nor attributes are discarded: signs attach only to
 // the units the labeling algorithm knows.
 func (a *Authorization) SelectNodes(doc *dom.Document) ([]*dom.Node, error) {
+	return a.SelectNodesCtx(context.Background(), doc)
+}
+
+// SelectNodesCtx is SelectNodes with per-request tracing: when ctx
+// carries a trace, the path evaluation is recorded as an "xpath.eval"
+// span. With an untraced context it costs exactly what SelectNodes
+// does.
+func (a *Authorization) SelectNodesCtx(ctx context.Context, doc *dom.Document) ([]*dom.Node, error) {
 	if a.path == nil {
 		root := doc.DocumentElement()
 		if root == nil {
@@ -217,7 +226,7 @@ func (a *Authorization) SelectNodes(doc *dom.Document) ([]*dom.Node, error) {
 		}
 		return []*dom.Node{root}, nil
 	}
-	nodes, err := a.path.SelectDoc(doc)
+	nodes, err := a.path.SelectDocCtx(ctx, doc)
 	if err != nil {
 		return nil, err
 	}

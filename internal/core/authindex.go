@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xmlsec/internal/authz"
 	"xmlsec/internal/dom"
+	"xmlsec/internal/trace"
 )
 
 // maxIndexedDocs bounds how many documents the index tracks at once.
@@ -142,8 +144,13 @@ func (de *docIndex) nodeTable() []*dom.Node {
 
 // lookup returns the cached node indexes for authorization a over doc
 // under store generation gen, together with the document's index→node
-// table, filling the entry (once, even under concurrency) on first use.
-func (x *AuthIndex) lookup(doc *dom.Document, gen uint64, a *authz.Authorization) ([]int32, []*dom.Node, error) {
+// table, filling the entry (once, even under concurrency) on first
+// use. The hit result reports whether the set was already filled —
+// the per-request trace annotates its label span with the totals. A
+// fill under a traced context records an "authindex.fill" span (the
+// XPath evaluation a warm request avoids), so a sampled trace shows
+// exactly which authorizations this request paid for.
+func (x *AuthIndex) lookup(ctx context.Context, doc *dom.Document, gen uint64, a *authz.Authorization) (set []int32, table []*dom.Node, hit bool, err error) {
 	de := x.entryFor(doc, gen)
 	de.mu.Lock()
 	ns := de.sets[a]
@@ -152,14 +159,16 @@ func (x *AuthIndex) lookup(doc *dom.Document, gen uint64, a *authz.Authorization
 		de.sets[a] = ns
 	}
 	de.mu.Unlock()
-	if ns.filled.Load() {
+	hit = ns.filled.Load()
+	if hit {
 		x.hits.Add(1)
 	} else {
 		x.misses.Add(1)
 	}
 	ns.once.Do(func() {
+		fctx, sp := trace.StartSpan(ctx, "authindex.fill")
 		start := time.Now()
-		nodes, err := a.SelectNodes(doc)
+		nodes, err := a.SelectNodesCtx(fctx, doc)
 		if err != nil {
 			ns.err = err
 		} else {
@@ -171,12 +180,16 @@ func (x *AuthIndex) lookup(doc *dom.Document, gen uint64, a *authz.Authorization
 		}
 		x.fills.Add(1)
 		x.observeFill(time.Since(start))
+		if sp.Traced() {
+			sp.Lazyf("%s -> %d nodes (gen %d)", a, len(ns.idx), gen)
+			sp.End()
+		}
 		ns.filled.Store(true)
 	})
 	if ns.err != nil {
-		return nil, nil, ns.err
+		return nil, nil, hit, ns.err
 	}
-	return ns.idx, de.nodeTable(), nil
+	return ns.idx, de.nodeTable(), hit, nil
 }
 
 // Warm pre-fills the index for doc under store generation gen with the
@@ -192,7 +205,7 @@ func (x *AuthIndex) Warm(doc *dom.Document, gen uint64, auths []*authz.Authoriza
 	}
 	if workers <= 1 {
 		for _, a := range auths {
-			_, _, _ = x.lookup(doc, gen, a)
+			_, _, _, _ = x.lookup(context.Background(), doc, gen, a)
 		}
 		return
 	}
@@ -203,7 +216,7 @@ func (x *AuthIndex) Warm(doc *dom.Document, gen uint64, auths []*authz.Authoriza
 		go func() {
 			defer wg.Done()
 			for a := range ch {
-				_, _, _ = x.lookup(doc, gen, a)
+				_, _, _, _ = x.lookup(context.Background(), doc, gen, a)
 			}
 		}()
 	}

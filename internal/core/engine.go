@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"xmlsec/internal/authz"
 	"xmlsec/internal/dom"
 	"xmlsec/internal/subjects"
+	"xmlsec/internal/trace"
 )
 
 // Engine evaluates requests against an authorization store, producing
@@ -281,24 +283,44 @@ func (v *View) Materialize() *dom.Document {
 // The document must have been renumbered (the parser does this) and is
 // treated as immutable for the lifetime of the returned view.
 func (e *Engine) ComputeView(req Request, doc *dom.Document) (*View, error) {
+	return e.ComputeViewCtx(context.Background(), req, doc)
+}
+
+// ComputeViewCtx is ComputeView with per-request tracing: when ctx
+// carries a trace (see internal/trace), the labeling and
+// transformation steps are recorded as "label" and "prune" spans, with
+// node-set-index effectiveness and label counts annotated on them. An
+// untraced context adds no allocation and no lock to the cycle.
+func (e *Engine) ComputeViewCtx(ctx context.Context, req Request, doc *dom.Document) (*View, error) {
 	if e.LegacyCloneViews {
 		return e.ComputeViewClone(req, doc)
 	}
 	obs := e.stageObserver()
+	lctx, sp := trace.StartSpan(ctx, "label")
 	start := time.Now()
-	lb, stats, err := e.Label(req, doc)
+	lb, stats, err := e.labelCtx(lctx, req, doc)
 	if err != nil {
 		return nil, err
 	}
 	if obs != nil {
 		obs.ObserveStage("label", time.Since(start))
 	}
+	if sp.Traced() {
+		sp.Lazyf("%d nodes: %d+, %d-, %de (auths: %d instance, %d schema)",
+			stats.Nodes, stats.Plus, stats.Minus, stats.Eps, stats.AuthsInstance, stats.AuthsSchema)
+		sp.End()
+	}
 	pol := e.PolicyFor(req.URI)
+	sp = trace.StartChild(ctx, "prune")
 	start = time.Now()
 	mask, kept := Visibility(doc, lb, pol)
 	stats.Kept = kept
 	if obs != nil {
 		obs.ObserveStage("prune", time.Since(start))
+	}
+	if sp.Traced() {
+		sp.Lazyf("kept %d of %d nodes", kept, stats.Nodes)
+		sp.End()
 	}
 	return &View{Doc: doc, Mask: mask, Labeling: lb, Stats: stats}, nil
 }
@@ -334,6 +356,17 @@ func (e *Engine) ComputeViewClone(req Request, doc *dom.Document) (*View, error)
 // statistics. Exposed separately so benchmarks and diagnostic tools can
 // separate labeling cost from pruning cost.
 func (e *Engine) Label(req Request, doc *dom.Document) (*Labeling, Stats, error) {
+	return e.labelCtx(context.Background(), req, doc)
+}
+
+// LabelCtx is Label under a (possibly traced) context; node-set-index
+// fills triggered by the labeling appear as child spans of the
+// context's current span.
+func (e *Engine) LabelCtx(ctx context.Context, req Request, doc *dom.Document) (*Labeling, Stats, error) {
+	return e.labelCtx(ctx, req, doc)
+}
+
+func (e *Engine) labelCtx(ctx context.Context, req Request, doc *dom.Document) (*Labeling, Stats, error) {
 	axml, adtd, err := e.applicable(req)
 	if err != nil {
 		return nil, Stats{}, err
@@ -360,18 +393,28 @@ func (e *Engine) Label(req Request, doc *dom.Document) (*Labeling, Stats, error)
 	if idx != nil {
 		gen = e.Store.Generation()
 	}
+	// idxHits/idxMisses summarize this request's node-set-index
+	// effectiveness for its trace (the aggregate counters live on the
+	// index itself); plain ints, so untraced requests pay nothing.
+	sp := trace.SpanFromContext(ctx)
+	var idxHits, idxMisses int
 	collect := func(a *authz.Authorization, schema bool) error {
 		if idx != nil {
-			set, table, err := idx.lookup(doc, gen, a)
+			set, table, hit, err := idx.lookup(ctx, doc, gen, a)
 			if err != nil {
 				return fmt.Errorf("core: evaluating %s: %w", a, err)
+			}
+			if hit {
+				idxHits++
+			} else {
+				idxMisses++
 			}
 			for _, i := range set {
 				l.add(table[i], a, schema)
 			}
 			return nil
 		}
-		nodes, err := a.SelectNodes(doc)
+		nodes, err := a.SelectNodesCtx(ctx, doc)
 		if err != nil {
 			return fmt.Errorf("core: evaluating %s: %w", a, err)
 		}
@@ -389,6 +432,9 @@ func (e *Engine) Label(req Request, doc *dom.Document) (*Labeling, Stats, error)
 		if err := collect(a, true); err != nil {
 			return nil, Stats{}, err
 		}
+	}
+	if sp.Traced() && idx != nil {
+		sp.Lazyf("authindex: %d hits, %d misses", idxHits, idxMisses)
 	}
 	root := doc.DocumentElement()
 	if root == nil {

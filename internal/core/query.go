@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xmlsec/internal/dom"
+	"xmlsec/internal/trace"
 	"xmlsec/internal/xpath"
 )
 
@@ -26,6 +28,12 @@ import (
 // (materialized) view document and may be serialized with
 // dom.MarkupString.
 func (v *View) Query(expr string) ([]*dom.Node, error) {
+	return v.QueryCtx(context.Background(), expr)
+}
+
+// QueryCtx is Query with per-request tracing: a traced context records
+// the view materialization and the XPath evaluation as spans.
+func (v *View) QueryCtx(ctx context.Context, expr string) ([]*dom.Node, error) {
 	p, err := xpath.Compile(expr)
 	if err != nil {
 		return nil, err
@@ -33,11 +41,13 @@ func (v *View) Query(expr string) ([]*dom.Node, error) {
 	if v.Empty() {
 		return nil, nil
 	}
+	sp := trace.StartChild(ctx, "materialize")
 	qdoc := v.Materialize()
+	sp.End()
 	if qdoc.DocumentElement() == nil {
 		return nil, nil
 	}
-	return p.SelectDoc(qdoc)
+	return p.SelectDocCtx(ctx, qdoc)
 }
 
 // QueryResult wraps query matches as an XML document
@@ -45,7 +55,12 @@ func (v *View) Query(expr string) ([]*dom.Node, error) {
 // node (elements are embedded as markup; attributes and text become
 // <match name="...">value</match>).
 func (v *View) QueryResult(expr string) (*dom.Document, error) {
-	nodes, err := v.Query(expr)
+	return v.QueryResultCtx(context.Background(), expr)
+}
+
+// QueryResultCtx is QueryResult under a (possibly traced) context.
+func (v *View) QueryResultCtx(ctx context.Context, expr string) (*dom.Document, error) {
+	nodes, err := v.QueryCtx(ctx, expr)
 	if err != nil {
 		return nil, err
 	}

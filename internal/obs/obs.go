@@ -30,6 +30,9 @@ var DefStageBuckets = append([]float64{
 }, DefLatencyBuckets...)
 
 // atomicFloat is a float64 with atomic add via CAS on the bit pattern.
+// It is the one lock-free accumulation loop in the package — Gauge and
+// Histogram sums both ride on it — so its contention behaviour is
+// pinned by TestAtomicFloatContention in race_test.go.
 type atomicFloat struct{ bits atomic.Uint64 }
 
 func (f *atomicFloat) Add(v float64) {
@@ -40,6 +43,8 @@ func (f *atomicFloat) Add(v float64) {
 		}
 	}
 }
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
 
 func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
 
@@ -56,23 +61,16 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Gauge is a value that can go up and down.
-type Gauge struct{ bits atomic.Uint64 }
+type Gauge struct{ v atomicFloat }
 
 // Set replaces the gauge's value.
-func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
 
 // Add shifts the gauge by delta.
-func (g *Gauge) Add(delta float64) {
-	for {
-		old := g.bits.Load()
-		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
-			return
-		}
-	}
-}
+func (g *Gauge) Add(delta float64) { g.v.Add(delta) }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+func (g *Gauge) Value() float64 { return g.v.Load() }
 
 // Histogram counts observations into fixed buckets. Bucket semantics
 // follow Prometheus: bucket i counts observations v ≤ bounds[i], with

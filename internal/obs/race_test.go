@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The hot-path metric writes are lock-free: Counter rides on
+// atomic.Uint64, Gauge and Histogram sums on atomicFloat's CAS loop,
+// and the Vec types on a double-checked RWMutex map. These tests pin
+// the exact-sum guarantee of each under real contention and are the
+// reason ./internal/obs/ is part of CI's -race step: a torn CAS loop
+// or an unguarded map read shows up here, not in production graphs.
+
+const (
+	writers   = 8
+	perWriter = 2000
+)
+
+// fanOut runs writers goroutines, each invoking fn perWriter times.
+func fanOut(fn func(g, i int)) {
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				fn(g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestAtomicFloatContention(t *testing.T) {
+	var f atomicFloat
+	// Adding 1.0 is exact in float64 far beyond this range, so a single
+	// lost CAS shows up as a wrong total.
+	fanOut(func(_, _ int) { f.Add(1) })
+	if got := f.Load(); got != writers*perWriter {
+		t.Errorf("atomicFloat lost updates: %v, want %d", got, writers*perWriter)
+	}
+}
+
+func TestCounterAndGaugeContention(t *testing.T) {
+	var c Counter
+	var g Gauge
+	fanOut(func(w, _ int) {
+		c.Inc()
+		if w%2 == 0 {
+			g.Add(2) // half the writers add twice what the others remove
+		} else {
+			g.Add(-1)
+		}
+	})
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("Counter = %d, want %d", got, writers*perWriter)
+	}
+	// 4 writers × +2 and 4 writers × −1 per iteration.
+	want := float64(perWriter * (writers/2*2 - writers/2))
+	if got := g.Value(); got != want {
+		t.Errorf("Gauge = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramContentionWithSnapshots(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	done := make(chan struct{})
+	go func() { // concurrent scrapes must only ever see plausible states
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := h.snapshot()
+			var prev uint64
+			for _, b := range s.Buckets {
+				if b.Count < prev {
+					t.Error("cumulative bucket counts went backwards")
+					return
+				}
+				prev = b.Count
+			}
+			if s.Count != s.Buckets[len(s.Buckets)-1].Count {
+				t.Error("snapshot count disagrees with its +Inf bucket")
+				return
+			}
+		}
+	}()
+	fanOut(func(_, i int) { h.Observe(float64(i % 8)) }) // values 0..7 span all buckets
+	close(done)
+
+	s := h.snapshot()
+	if s.Count != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", s.Count, writers*perWriter)
+	}
+	// Σ (i%8) over perWriter iterations per writer: 0+1+…+7 = 28 per 8.
+	want := float64(writers * (perWriter / 8) * 28)
+	if s.Sum != want {
+		t.Errorf("histogram sum = %v, want %v", s.Sum, want)
+	}
+	// values ≤1: {0,1} → 2 of every 8 observations.
+	if got := s.Buckets[0].Count; got != writers*perWriter/4 {
+		t.Errorf("bucket le=1 = %d, want %d", got, writers*perWriter/4)
+	}
+}
+
+func TestVecWithChurnContention(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.NewCounterVec("race_counter", "t", "route")
+	hv := reg.NewHistogramVec("race_hist", "t", []float64{1}, "stage")
+	fanOut(func(g, i int) {
+		// Everyone churns through the same small label space, so first-use
+		// creation races with steady-state reads on every iteration.
+		label := fmt.Sprintf("l%d", i%4)
+		cv.With(label).Inc()
+		hv.With(label).Observe(float64(i % 2))
+		if i%100 == 0 {
+			reg.Snapshot() // scrape while kids are being created
+		}
+	})
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += cv.With(fmt.Sprintf("l%d", i)).Value()
+	}
+	if total != writers*perWriter {
+		t.Errorf("CounterVec total = %d, want %d", total, writers*perWriter)
+	}
+	var count uint64
+	for i := 0; i < 4; i++ {
+		count += hv.With(fmt.Sprintf("l%d", i)).snapshot().Count
+	}
+	if count != writers*perWriter {
+		t.Errorf("HistogramVec total = %d, want %d", count, writers*perWriter)
+	}
+}

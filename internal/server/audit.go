@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"xmlsec/internal/core"
 	"xmlsec/internal/subjects"
+	"xmlsec/internal/trace"
 )
 
 // AuditRecord is one line of the site's audit trail: who asked for
@@ -19,6 +21,11 @@ import (
 type AuditRecord struct {
 	// Time is the decision instant (RFC 3339, UTC).
 	Time time.Time `json:"time"`
+	// RequestID joins the audit line to the rest of the request's
+	// observability: it equals the X-Request-ID response header and,
+	// for sampled requests, the trace ID under /debug/traces. Empty for
+	// decisions made outside an HTTP request (direct API use).
+	RequestID string `json:"request_id,omitempty"`
 	// Op is the operation: "read", "write", or "query".
 	Op string `json:"op"`
 	// User, IP, Host identify the requester (the subject triple).
@@ -79,12 +86,13 @@ func (a *auditor) log(rec AuditRecord) {
 }
 
 // auditRead records the outcome of a Process call.
-func (s *Site) auditRead(rq subjects.Requester, uri string, view *core.View, err error) {
+func (s *Site) auditRead(ctx context.Context, rq subjects.Requester, uri string, view *core.View, err error) {
 	if s.audit == nil {
 		return
 	}
 	rec := AuditRecord{
-		Op: "read", User: rq.User, IP: rq.IP, Host: rq.Host, URI: uri,
+		RequestID: trace.RequestID(ctx),
+		Op:        "read", User: rq.User, IP: rq.IP, Host: rq.Host, URI: uri,
 	}
 	switch {
 	case err == nil:
@@ -103,12 +111,13 @@ func (s *Site) auditRead(rq subjects.Requester, uri string, view *core.View, err
 }
 
 // auditWrite records the outcome of an Update call.
-func (s *Site) auditWrite(rq subjects.Requester, uri string, err error) {
+func (s *Site) auditWrite(ctx context.Context, rq subjects.Requester, uri string, err error) {
 	if s.audit == nil {
 		return
 	}
 	rec := AuditRecord{
-		Op: "write", User: rq.User, IP: rq.IP, Host: rq.Host, URI: uri,
+		RequestID: trace.RequestID(ctx),
+		Op:        "write", User: rq.User, IP: rq.IP, Host: rq.Host, URI: uri,
 	}
 	switch {
 	case err == nil:

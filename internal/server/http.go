@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"strings"
 
 	"xmlsec/internal/dom"
@@ -26,6 +27,9 @@ const defaultMaxUpdateBytes = 16 << 20
 //	GET /healthz              — liveness probe
 //	GET /metrics              — Prometheus text exposition
 //	GET /statz                — metrics snapshot as JSON
+//	GET /debug/traces         — recent/slow request traces (EnableTracing)
+//	GET /debug/traces/{id}    — one trace's span waterfall
+//	GET /debug/pprof/         — runtime profiles (EnablePprof)
 //
 // Identification uses HTTP Basic authentication against the site's
 // UserDB; requests without credentials proceed as "anonymous". The
@@ -33,7 +37,15 @@ const defaultMaxUpdateBytes = 16 << 20
 // from the site's resolver, completing the paper's subject triple.
 //
 // Every request is recorded in the site's metric registry (count,
-// latency, and status by route); see Metrics().
+// latency, and status by route); see Metrics(). Every response carries
+// an X-Request-ID header (the client's, when it sent a well-formed
+// one) that also appears in audit records and, for sampled requests,
+// as the trace ID under /debug/traces.
+//
+// The debug endpoints share /statz's exposure: unauthenticated on the
+// same mux. /debug/traces answers 404 until EnableTracing is called;
+// /debug/pprof/ is registered only when EnablePprof is set, since
+// profiles reveal process internals beyond this site's data.
 func (s *Site) Handler() http.Handler {
 	s.initMetrics()
 	mux := http.NewServeMux()
@@ -47,6 +59,18 @@ func (s *Site) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceDetail)
+	if s.EnablePprof {
+		// The handlers are reached through the site's own mux rather
+		// than the net/http/pprof side-effect registration on
+		// DefaultServeMux, so the flag really gates them.
+		mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	}
 	return s.instrument(mux)
 }
 
@@ -95,7 +119,7 @@ func (s *Site) handleDoc(w http.ResponseWriter, r *http.Request) {
 	}
 	uri := strings.TrimPrefix(r.URL.Path, "/docs/")
 	rq := s.RequesterFor(user, s.peerIP(r))
-	res, err := s.Process(rq, uri)
+	res, err := s.ProcessContext(r.Context(), rq, uri)
 	switch {
 	case errors.Is(err, ErrNotFound):
 		// Unknown documents and fully protected documents are
@@ -138,7 +162,7 @@ func (s *Site) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rq := s.RequesterFor(user, s.peerIP(r))
-	switch err := s.Update(rq, uri, string(body)); {
+	switch err := s.UpdateContext(r.Context(), rq, uri, string(body)); {
 	case errors.Is(err, ErrNotFound):
 		http.NotFound(w, r)
 	case errors.Is(err, ErrForbidden):
@@ -165,7 +189,7 @@ func (s *Site) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rq := s.RequesterFor(user, s.peerIP(r))
-	res, err := s.QueryDoc(rq, uri, expr)
+	res, err := s.QueryDocContext(r.Context(), rq, uri, expr)
 	switch {
 	case errors.Is(err, ErrNotFound):
 		http.NotFound(w, r)

@@ -10,6 +10,7 @@ import (
 
 	"xmlsec/internal/core"
 	"xmlsec/internal/obs"
+	"xmlsec/internal/trace"
 )
 
 // stages of the paper's execution cycle, in order. "label" and "prune"
@@ -121,6 +122,16 @@ func (s *Site) initMetrics() {
 			"Cached node-sets across all indexed documents.", func() float64 {
 				return float64(authIndexStats().Entries)
 			})
+		reg.NewCounterFunc("xmlsec_trace_requests_total",
+			"Requests offered to the trace sampler (0 when tracing is disabled).", func() float64 {
+				reqs, _ := s.traces.Stats()
+				return float64(reqs)
+			})
+		reg.NewCounterFunc("xmlsec_trace_sampled_total",
+			"Requests that produced a trace; see /debug/traces.", func() float64 {
+				_, sampled := s.traces.Stats()
+				return float64(sampled)
+			})
 		m.authFill = reg.NewHistogram("xmlsec_authindex_fill_duration_seconds",
 			"Latency of node-set index fills (one authorization path evaluated over one document).",
 			obs.DefStageBuckets)
@@ -169,14 +180,40 @@ func (s *Site) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// instrument wraps the site's mux, recording request count, status, and
+// instrument wraps the site's mux: it stamps every response with an
+// X-Request-ID, starts a trace for sampled requests (the trace ID IS
+// the request ID, so audit lines, response headers, and /debug/traces
+// all join on one value), and records request count, status, and
 // latency per route.
 func (s *Site) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(sw, r)
 		route := routeOf(r.URL.Path)
+		ctx := r.Context()
+		tr := s.traces.Start(r.Method + " " + route) // nil recorder or unsampled → nil
+		id := requestIDFrom(r)
+		if tr != nil {
+			if id != "" {
+				// Propagate the client's well-formed ID as the trace ID
+				// so the caller's correlation value works everywhere.
+				tr.ID = id
+			} else {
+				id = tr.ID
+			}
+			root := tr.Root()
+			root.Lazyf("%s %s from %s", r.Method, r.URL.Path, r.RemoteAddr)
+			ctx = trace.NewContext(ctx, root)
+		} else if id == "" {
+			id = trace.NewID()
+		}
+		ctx = trace.WithRequestID(ctx, id)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if tr != nil {
+			tr.Root().Lazyf("status %d", sw.status)
+			tr.Finish()
+		}
 		s.metrics.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
 		s.metrics.httpDur.With(route).ObserveSince(start)
 	})
@@ -192,6 +229,10 @@ func routeOf(path string) string {
 		return "/query/"
 	case strings.HasPrefix(path, "/dtds/"):
 		return "/dtds/"
+	case strings.HasPrefix(path, "/debug/pprof/"):
+		return "/debug/pprof/"
+	case strings.HasPrefix(path, "/debug/traces"):
+		return "/debug/traces"
 	case path == "/healthz", path == "/metrics", path == "/statz":
 		return path
 	default:

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"xmlsec/internal/dom"
 	"xmlsec/internal/dtd"
 	"xmlsec/internal/subjects"
+	"xmlsec/internal/trace"
 	"xmlsec/internal/xmlparse"
 )
 
@@ -51,6 +53,16 @@ type Site struct {
 	// audit, when non-nil, receives one record per access decision;
 	// see SetAuditLog.
 	audit *auditor
+
+	// traces, when non-nil, samples and records per-request traces;
+	// see EnableTracing and GET /debug/traces.
+	traces *trace.Recorder
+
+	// EnablePprof exposes net/http/pprof under /debug/pprof/ on the
+	// site's handler. Off by default: profiling endpoints reveal
+	// process internals and cost CPU when scraped, so they share the
+	// opt-in posture of /debug/traces.
+	EnablePprof bool
 
 	// metrics holds the site's observability registry, built lazily so
 	// zero-constructed Sites work too; see Metrics().
@@ -123,14 +135,24 @@ type ProcessResult struct {
 //
 // The returned view references the loosened DTD, never the original.
 // An empty view returns ErrNotFound.
-func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, err error) {
+func (s *Site) Process(rq subjects.Requester, uri string) (*ProcessResult, error) {
+	return s.ProcessContext(context.Background(), rq, uri)
+}
+
+// ProcessContext is Process under a request context. When ctx carries
+// a trace (the HTTP middleware starts one per sampled request), every
+// cycle stage is recorded as a span, so the trace answers where this
+// particular request's time went; the trace's request ID is written
+// into the audit record either way. An untraced context adds no
+// allocation to the cycle.
+func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri string) (res *ProcessResult, err error) {
 	s.initMetrics()
 	defer func() {
 		var v *core.View
 		if res != nil {
 			v = res.View
 		}
-		s.auditRead(rq, uri, v, err)
+		s.auditRead(ctx, rq, uri, v, err)
 		switch {
 		case err == nil:
 			s.metrics.processed.With("ok").Inc()
@@ -140,6 +162,10 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 			s.metrics.processed.With("error").Inc()
 		}
 	}()
+	rsp := trace.SpanFromContext(ctx)
+	if rsp.Traced() {
+		rsp.Lazyf("process %s for user=%s ip=%s host=%s", uri, rq.User, rq.IP, rq.Host)
+	}
 	sd := s.Docs.Doc(uri)
 	if sd == nil {
 		return nil, ErrNotFound
@@ -154,11 +180,15 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 	if useCache {
 		key = s.cache.key(rq, uri, s.Auths.Generation(), s.Docs.Generation())
 		if res, ok := s.cache.get(key); ok {
+			if rsp.Traced() {
+				rsp.Lazyf("view cache hit (no cycle run)")
+			}
 			return res, nil
 		}
 	}
 	doc := sd.Doc
 	if s.ParsePerRequest {
+		sp := trace.StartChild(ctx, "parse")
 		start := time.Now()
 		res, err := xmlparse.Parse(sd.Source, xmlparse.Options{
 			Loader:        storeLoader{s.Docs},
@@ -168,10 +198,11 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 			return nil, fmt.Errorf("server: re-parsing %q: %w", uri, err)
 		}
 		s.observeStage("parse", start)
+		sp.End()
 		doc = res.Doc
 	}
 	req := core.Request{Requester: rq, URI: uri, DTDURI: sd.DTDURI}
-	view, err := s.Engine.ComputeView(req, doc)
+	view, err := s.Engine.ComputeViewCtx(ctx, req, doc)
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +210,7 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 		return nil, ErrNotFound
 	}
 	if s.ValidateViews && sd.DTDURI != "" {
+		sp := trace.StartChild(ctx, "validate")
 		start := time.Now()
 		loose := s.Docs.Loosened(sd.DTDURI)
 		if loose == nil {
@@ -188,7 +220,9 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 			return nil, fmt.Errorf("server: view of %q violates the loosened DTD: %w", uri, errs)
 		}
 		s.observeStage("validate", start)
+		sp.End()
 	}
+	sp := trace.StartChild(ctx, "unparse")
 	start := time.Now()
 	var b strings.Builder
 	// Unparse through the visibility mask: the shared document is
@@ -204,6 +238,10 @@ func (s *Site) Process(rq subjects.Requester, uri string) (res *ProcessResult, e
 		return nil, err
 	}
 	s.observeStage("unparse", start)
+	if sp.Traced() {
+		sp.Lazyf("%d bytes", b.Len())
+		sp.End()
+	}
 	out := &ProcessResult{View: view, XML: b.String(), DTDURI: sd.DTDURI}
 	if useCache {
 		s.cache.put(key, out)

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingFileWriter is an io.Writer for the audit trail with
+// size-based rotation: when appending a record would push the current
+// file past MaxBytes, the file is rotated (path → path.1 → path.2 …)
+// and the oldest of the keep-last-K files is dropped. The audit log
+// was previously unbounded JSONL — one file that grows until the disk
+// fills, which turns the "not deployable without auditing" argument on
+// its head: auditing must not be the thing that takes the site down.
+//
+// Rotation is by whole records: a record larger than MaxBytes still
+// lands in a (fresh) file of its own rather than being truncated,
+// because a torn audit line is worse than an oversized file.
+//
+// Safe for concurrent use; the auditor additionally serializes writes.
+type RotatingFileWriter struct {
+	path     string
+	maxBytes int64
+	keep     int
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// NewRotatingFileWriter opens (appending) the audit file at path.
+// maxBytes ≤ 0 disables rotation (the historical unbounded behaviour);
+// keep ≤ 0 keeps 3 rotated files. The current size is taken from the
+// existing file, so restarts continue counting where they left off.
+func NewRotatingFileWriter(path string, maxBytes int64, keep int) (*RotatingFileWriter, error) {
+	if keep <= 0 {
+		keep = 3
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &RotatingFileWriter{path: path, maxBytes: maxBytes, keep: keep, f: f, size: st.Size()}, nil
+}
+
+// Write appends p, rotating first when the write would exceed the size
+// bound (never splitting p across files).
+func (w *RotatingFileWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.maxBytes > 0 && w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate shifts path.i → path.(i+1) for i = keep-1 … 1, moves the
+// live file to path.1, and reopens a fresh live file. Called with the
+// lock held.
+func (w *RotatingFileWriter) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	// The oldest file (path.keep) falls off through the final rename.
+	for i := w.keep - 1; i >= 1; i-- {
+		from := fmt.Sprintf("%s.%d", w.path, i)
+		if _, err := os.Stat(from); err != nil {
+			continue
+		}
+		if err := os.Rename(from, fmt.Sprintf("%s.%d", w.path, i+1)); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return err
+	}
+	w.f, w.size = f, 0
+	return nil
+}
+
+// Close flushes and closes the live file.
+func (w *RotatingFileWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// SetAuditFile directs the site's audit trail to a size-rotated file:
+// JSON lines at path, rotated past maxBytes, keeping the last keep
+// rotated files (see NewRotatingFileWriter for the ≤0 defaults). The
+// returned writer is already installed; callers Close it on shutdown.
+func (s *Site) SetAuditFile(path string, maxBytes int64, keep int) (*RotatingFileWriter, error) {
+	w, err := NewRotatingFileWriter(path, maxBytes, keep)
+	if err != nil {
+		return nil, err
+	}
+	s.SetAuditLog(w)
+	return w, nil
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlsec/internal/labexample"
+)
+
+func TestRotatingFileWriter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	w, err := NewRotatingFileWriter(path, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40-byte records: two fit under 100 bytes, the third rotates.
+	rec := func(i int) []byte {
+		return []byte(fmt.Sprintf("{\"n\":%2d,\"pad\":%q}\n", i, strings.Repeat("x", 18)))
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := w.Write(rec(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	read := func(p string) string {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("reading %s: %v", p, err)
+		}
+		return string(b)
+	}
+	// 7 records, 2 per file: live file has record 6, .1 has 4-5, .2 has
+	// 2-3; records 0-1 fell off the end.
+	if got := read(path); !strings.Contains(got, `"n": 6`) || strings.Contains(got, `"n": 5`) {
+		t.Errorf("live file wrong: %q", got)
+	}
+	if got := read(path + ".1"); !strings.Contains(got, `"n": 4`) || !strings.Contains(got, `"n": 5`) {
+		t.Errorf("audit.jsonl.1 wrong: %q", got)
+	}
+	if got := read(path + ".2"); !strings.Contains(got, `"n": 2`) || !strings.Contains(got, `"n": 3`) {
+		t.Errorf("audit.jsonl.2 wrong: %q", got)
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Error("keep=2 must not leave a third rotated file")
+	}
+
+	// No record may be split across files: every file is whole lines.
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		if b := read(p); b != "" && !strings.HasSuffix(b, "\n") {
+			t.Errorf("%s ends mid-record", p)
+		}
+	}
+
+	// Reopening continues from the existing size instead of resetting.
+	w2, err := NewRotatingFileWriter(path, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.size == 0 {
+		t.Error("reopened writer must adopt the existing file size")
+	}
+	if _, err := w2.Write(bytes.Repeat([]byte("y"), 200)); err != nil {
+		t.Fatal(err) // oversized record lands whole in a fresh file
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(path); len(got) != 200 {
+		t.Errorf("oversized record split or lost: %d bytes", len(got))
+	}
+}
+
+func TestRotationUnboundedWhenDisabled(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	w, err := NewRotatingFileWriter(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := w.Write([]byte(strings.Repeat("z", 100) + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Error("maxBytes=0 must never rotate")
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() != 50*101 {
+		t.Errorf("unbounded file wrong size: %v %d", err, st.Size())
+	}
+}
+
+func TestSetAuditFileWiresRotationIntoAuditor(t *testing.T) {
+	site := labSite(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	w, err := site.SetAuditFile(path, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := site.Process(labexample.Tom, labexample.DocURI); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Errorf("audit volume should have rotated: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Errorf("rotated audit file holds a torn record: %q", line)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -9,6 +10,7 @@ import (
 	"xmlsec/internal/dom"
 	"xmlsec/internal/dtd"
 	"xmlsec/internal/subjects"
+	"xmlsec/internal/trace"
 	"xmlsec/internal/xmlparse"
 	"xmlsec/internal/xpath"
 )
@@ -46,8 +48,16 @@ const WriteAction = "write"
 // requester cannot even read, which must stay indistinguishable from
 // absent ones — and ErrForbidden (wrapping the offending edit) when an
 // edit exceeds the requester's write authority.
-func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) {
-	defer func() { s.auditWrite(rq, uri, err) }()
+func (s *Site) Update(rq subjects.Requester, uri, newSource string) error {
+	return s.UpdateContext(context.Background(), rq, uri, newSource)
+}
+
+// UpdateContext is Update under a request context; a traced context
+// records the write path's phases (read view, replacement parse, write
+// labeling, merge, validation) as spans, and the trace's request ID is
+// written into the audit record.
+func (s *Site) UpdateContext(ctx context.Context, rq subjects.Requester, uri, newSource string) (err error) {
+	defer func() { s.auditWrite(ctx, rq, uri, err) }()
 	sd := s.Docs.Doc(uri)
 	if sd == nil {
 		return ErrNotFound
@@ -55,7 +65,9 @@ func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) 
 	// Visibility first: a requester with no read view must not learn
 	// that the document exists from the write path either.
 	readReq := core.Request{Requester: rq, URI: uri, DTDURI: sd.DTDURI}
-	readView, err := s.Engine.ComputeView(readReq, sd.Doc)
+	rctx, sp := trace.StartSpan(ctx, "read-view")
+	readView, err := s.Engine.ComputeViewCtx(rctx, readReq, sd.Doc)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -64,10 +76,12 @@ func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) 
 	}
 	// Parse the replacement before judging it (malformed input is a
 	// client error regardless of authority).
+	sp = trace.StartChild(ctx, "parse")
 	res, err := xmlparse.Parse(newSource, xmlparse.Options{
 		Loader:        storeLoader{s.Docs},
 		ApplyDefaults: true,
 	})
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("server: update of %q: %w", uri, err)
 	}
@@ -80,7 +94,9 @@ func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) 
 	}
 	// Write labels on the original document.
 	writeReq := core.Request{Requester: rq, URI: uri, DTDURI: sd.DTDURI, Action: WriteAction}
-	lb, _, err := s.Engine.Label(writeReq, sd.Doc)
+	wctx, sp := trace.StartSpan(ctx, "write-label")
+	lb, _, err := s.Engine.LabelCtx(wctx, writeReq, sd.Doc)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -92,7 +108,9 @@ func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) 
 		}
 		return f == core.Plus
 	}
+	sp = trace.StartChild(ctx, "merge")
 	merged, err := core.MergeView(sd.Doc, readView, res.Doc, writable)
+	sp.End()
 	if err != nil {
 		var wde *core.WriteDeniedError
 		if errors.As(err, &wde) {
@@ -101,11 +119,14 @@ func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) 
 		return err
 	}
 	if sd.DTDURI != "" {
+		sp = trace.StartChild(ctx, "validate")
 		d := s.Docs.DTD(sd.DTDURI)
 		if d == nil {
 			return fmt.Errorf("server: document %q references unregistered DTD %q", uri, sd.DTDURI)
 		}
-		if errs := d.Validate(merged, dtd.ValidateOptions{IgnoreIDs: true}); errs != nil {
+		errs := d.Validate(merged, dtd.ValidateOptions{IgnoreIDs: true})
+		sp.End()
+		if errs != nil {
 			return fmt.Errorf("server: update of %q is not valid: %w", uri, errs)
 		}
 	}
@@ -137,16 +158,23 @@ func (s *Site) Update(rq subjects.Requester, uri, newSource string) (err error) 
 // which keeps the sharing sound under concurrency; a regression test
 // pins this under -race.
 func (s *Site) QueryDoc(rq subjects.Requester, uri, expr string) (*dom.Document, error) {
+	return s.QueryDocContext(context.Background(), rq, uri, expr)
+}
+
+// QueryDocContext is QueryDoc under a request context; a traced
+// context records the view computation's cycle stages and the query
+// evaluation ("materialize", "xpath.eval") as spans.
+func (s *Site) QueryDocContext(ctx context.Context, rq subjects.Requester, uri, expr string) (*dom.Document, error) {
 	// Compile first: a malformed expression is the client's fault and
 	// must fail before it costs a view computation.
 	if _, err := xpath.Compile(expr); err != nil {
 		return nil, err
 	}
-	res, err := s.Process(rq, uri)
+	res, err := s.ProcessContext(ctx, rq, uri)
 	if err != nil {
 		return nil, err
 	}
-	return res.View.QueryResult(expr)
+	return res.View.QueryResultCtx(ctx, expr)
 }
 
 // GrantWrite installs a write authorization from its tuple form,

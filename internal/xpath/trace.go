@@ -1,0 +1,30 @@
+package xpath
+
+// The stdlib import is aliased because this package's evaluation state
+// type is itself named context.
+import (
+	stdcontext "context"
+
+	"xmlsec/internal/dom"
+	"xmlsec/internal/trace"
+)
+
+// SelectDocCtx is SelectDoc with per-request tracing: when ctx carries
+// a trace, the evaluation is recorded as an "xpath.eval" span
+// annotated with the expression source and the result cardinality.
+// With an untraced context it is exactly SelectDoc — no allocation, no
+// lock.
+func (p *Path) SelectDocCtx(ctx stdcontext.Context, doc *dom.Document) ([]*dom.Node, error) {
+	sp := trace.StartChild(ctx, "xpath.eval")
+	if sp == nil {
+		return p.SelectDoc(doc)
+	}
+	nodes, err := p.SelectDoc(doc)
+	if err != nil {
+		sp.Lazyf("%s: %v", p.src, err)
+	} else {
+		sp.Lazyf("%s -> %d nodes", p.src, len(nodes))
+	}
+	sp.End()
+	return nodes, err
+}
