@@ -18,6 +18,11 @@
 //	GET /debug/traces      sampled request traces (-trace; see docs/TRACING.md)
 //	GET /debug/traces/<id> one trace's span waterfall
 //	GET /debug/pprof/      runtime profiles (-pprof)
+//	POST /admin/xacl       install an XACL document (-admin; admin group only)
+//
+// With -data-dir the daemon is durable: every mutation (document
+// update, XACL load, policy change) is written ahead to a log in that
+// directory and survives a crash or restart; see docs/PERSISTENCE.md.
 //
 // Requesters authenticate with HTTP Basic credentials from users.conf;
 // requests without credentials are served as "anonymous". Every
@@ -38,6 +43,7 @@ import (
 
 	"xmlsec/internal/server"
 	"xmlsec/internal/trace"
+	"xmlsec/internal/wal"
 )
 
 func main() {
@@ -55,6 +61,11 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, fmt.Sprintf("trace every Nth request (0 = default 1-in-%d; 1 = every request)", trace.DefaultSampleEvery))
 	traceSlow := flag.Duration("trace-slow", 0, "slow-capture threshold (0 = default 250ms; negative disables)")
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles at /debug/pprof/ (exposes process internals)")
+	dataDir := flag.String("data-dir", "", "durable state directory (write-ahead log + snapshots); empty = in-memory only")
+	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy: always, interval, or never (with -data-dir)")
+	snapshotBytes := flag.Int64("snapshot-bytes", server.DefaultSnapshotBytes, "compact the log into a snapshot past this many replayable bytes")
+	adminOn := flag.Bool("admin", false, "serve POST /admin/xacl for members of the admin group")
+	adminGroup := flag.String("admin-group", server.DefaultAdminGroup, "directory group allowed to call the admin endpoints (with -admin)")
 	flag.Parse()
 
 	site, err := server.LoadSiteDir(*siteDir)
@@ -65,6 +76,25 @@ func main() {
 	site.ValidateViews = *validate
 	site.ParsePerRequest = *perRequest
 	site.EnablePprof = *pprofOn
+	site.EnableAdminAPI = *adminOn
+	site.AdminGroup = *adminGroup
+	if *dataDir != "" {
+		sync, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmlsecd: %v\n", err)
+			os.Exit(1)
+		}
+		if err := site.EnableDurability(*dataDir, server.DurabilityOptions{
+			Sync:          sync,
+			SnapshotBytes: *snapshotBytes,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "xmlsecd: recovering %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		st := site.WALStats()
+		log.Printf("xmlsecd: recovered from %s (snapshot LSN %d, %d records replayed, fsync=%s)",
+			*dataDir, st.SnapshotLSN, st.ReplayRecords, sync)
+	}
 	if *cacheSize > 0 {
 		site.EnableViewCache(*cacheSize)
 	}
@@ -104,6 +134,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("xmlsecd: shutdown: %v", err)
+		}
+		// In-flight mutations have drained; flush the log tail so a
+		// clean shutdown never loses interval-fsync'd records.
+		if err := site.CloseDurability(); err != nil {
+			log.Printf("xmlsecd: closing write-ahead log: %v", err)
 		}
 		close(idle)
 	}()

@@ -17,6 +17,8 @@
 //	                            cold vs warm node-set-index labeling
 //	xsbench -exp trace -json BENCH_trace.json
 //	                            traced vs untraced request latency
+//	xsbench -exp wal -json BENCH_wal.json
+//	                            PUT throughput under each WAL fsync policy
 //	xsbench -exp online -quick  smaller sweeps
 package main
 
@@ -45,9 +47,9 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace wal all")
 	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
-	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view/authindex experiments to this file")
+	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view/authindex/trace/wal experiments to this file")
 	flag.Parse()
 
 	experiments := map[string]func() error{
@@ -64,8 +66,9 @@ func main() {
 		"view":      expView,
 		"authindex": expAuthIndex,
 		"trace":     expTrace,
+		"wal":       expWAL,
 	}
-	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace"}
+	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace", "wal"}
 
 	var names []string
 	if *exp == "all" {

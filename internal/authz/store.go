@@ -115,6 +115,18 @@ func (s *Store) Generation() uint64 {
 	return s.gen
 }
 
+// Reset drops every stored authorization (recovery replaces the
+// store's content with a snapshot's). The generation still advances,
+// so caches and indexes keyed on it cannot serve pre-reset state.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.instance = make(map[string][]*Authorization)
+	s.schema = make(map[string][]*Authorization)
+	s.timeBounded = false
+	s.gen++
+}
+
 // AddAll records a batch at the given level; it stops at the first
 // error.
 func (s *Store) AddAll(level Level, auths []*Authorization) error {

@@ -130,6 +130,31 @@ func (e *Engine) SetPolicy(uri string, p Policy) {
 	}
 }
 
+// Policies returns a copy of the per-document policies installed with
+// SetPolicy (the engine-wide Default is not included). Durability
+// snapshots serialize site state through it.
+func (e *Engine) Policies() map[string]Policy {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]Policy, len(e.policies))
+	for uri, p := range e.policies {
+		out[uri] = p
+	}
+	return out
+}
+
+// ClearPolicies removes every per-document policy (recovery replaces
+// them with a snapshot's), flushing cached node-sets like SetPolicy.
+func (e *Engine) ClearPolicies() {
+	e.mu.Lock()
+	idx := e.authIndex
+	e.policies = make(map[string]Policy)
+	e.mu.Unlock()
+	if idx != nil {
+		idx.InvalidateAll()
+	}
+}
+
 // PolicyFor returns the policy in force for a document URI.
 func (e *Engine) PolicyFor(uri string) Policy {
 	e.mu.RLock()

@@ -81,8 +81,7 @@ func LoadSiteDir(dir string) (*Site, error) {
 				return fmt.Errorf("want open or closed, got %q", fields[2])
 			}
 		}
-		site.Engine.SetPolicy(fields[0], pol)
-		return nil
+		return site.SetPolicy(fields[0], pol)
 	}); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"xmlsec/internal/dom"
@@ -49,18 +50,33 @@ func NewDocStore() *DocStore {
 
 // AddDTD registers a DTD under its URI.
 func (s *DocStore) AddDTD(uri, source string) error {
+	d, err := prepareDTD(uri, source)
+	if err != nil {
+		return err
+	}
+	s.commitDTD(uri, source, d)
+	return nil
+}
+
+// prepareDTD parses and compiles a DTD without touching the store, so
+// callers can validate (and log) a registration before committing it.
+func prepareDTD(uri, source string) (*dtd.DTD, error) {
 	d, err := dtd.Parse(source)
 	if err != nil {
-		return fmt.Errorf("server: DTD %q: %w", uri, err)
+		return nil, fmt.Errorf("server: DTD %q: %w", uri, err)
 	}
 	d.CompileAll()
+	return d, nil
+}
+
+// commitDTD installs a prepared DTD.
+func (s *DocStore) commitDTD(uri, source string, d *dtd.DTD) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dtds[uri] = d
 	s.srcs[uri] = source
 	delete(s.loose, uri)
 	s.gen++
-	return nil
 }
 
 // Generation returns a counter that changes whenever registered content
@@ -77,6 +93,18 @@ func (s *DocStore) Generation() uint64 {
 // If the document is not valid with respect to its DTD, registration
 // fails: the processor's contract takes valid documents as input.
 func (s *DocStore) AddDocument(uri, source string) error {
+	sd, err := s.prepareDocument(uri, source)
+	if err != nil {
+		return err
+	}
+	s.commitDocument(sd)
+	return nil
+}
+
+// prepareDocument parses and validates a document against the store's
+// registered DTDs without committing it, so callers can make the
+// registration durable between validation and the in-memory commit.
+func (s *DocStore) prepareDocument(uri, source string) (*StoredDoc, error) {
 	s.mu.RLock()
 	loader := make(xmlparse.MapLoader, len(s.srcs))
 	for u, src := range s.srcs {
@@ -86,7 +114,7 @@ func (s *DocStore) AddDocument(uri, source string) error {
 
 	res, err := xmlparse.Parse(source, xmlparse.Options{Loader: loader, ApplyDefaults: true})
 	if err != nil {
-		return fmt.Errorf("server: document %q: %w", uri, err)
+		return nil, fmt.Errorf("server: document %q: %w", uri, err)
 	}
 	sd := &StoredDoc{URI: uri, Source: source, Doc: res.Doc}
 	if res.Doc.DocType != nil && res.Doc.DocType.SystemID != "" {
@@ -96,14 +124,18 @@ func (s *DocStore) AddDocument(uri, source string) error {
 		sd.DTD = res.DTD
 		sd.DTD.Name = res.Doc.DocType.Name
 		if errs := sd.DTD.Validate(res.Doc, dtd.ValidateOptions{}); errs != nil {
-			return fmt.Errorf("server: document %q is not valid: %w", uri, errs)
+			return nil, fmt.Errorf("server: document %q is not valid: %w", uri, errs)
 		}
 	}
+	return sd, nil
+}
+
+// commitDocument installs a prepared document.
+func (s *DocStore) commitDocument(sd *StoredDoc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.docs[uri] = sd
+	s.docs[sd.URI] = sd
 	s.gen++
-	return nil
 }
 
 // Doc returns the stored document for uri, or nil.
@@ -146,12 +178,24 @@ func (s *DocStore) Loosened(uri string) *dtd.DTD {
 	l := d.Loosen()
 	l.CompileAll()
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-check under the write lock: two first requests may both have
+	// built a loosened DTD, and exactly one must win so every requester
+	// shares one compiled automaton (and pointer comparisons hold).
+	if prev, ok := s.loose[uri]; ok {
+		return prev
+	}
+	if s.dtds[uri] != d {
+		// The DTD was replaced while we loosened; the loosening of the
+		// old one must not be cached under the new registration.
+		return l
+	}
 	s.loose[uri] = l
-	s.mu.Unlock()
 	return l
 }
 
-// URIs returns the registered document URIs.
+// URIs returns the registered document URIs, sorted: listings,
+// snapshot manifests, and golden tests all need a deterministic order.
 func (s *DocStore) URIs() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -159,5 +203,31 @@ func (s *DocStore) URIs() []string {
 	for u := range s.docs {
 		out = append(out, u)
 	}
+	sort.Strings(out)
 	return out
+}
+
+// DTDURIs returns the registered DTD URIs, sorted.
+func (s *DocStore) DTDURIs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.dtds))
+	for u := range s.dtds {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset drops every registered document and DTD (recovery replaces the
+// store's content with a snapshot's). The generation still advances,
+// so caches keyed on it cannot serve pre-reset state.
+func (s *DocStore) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs = make(map[string]*StoredDoc)
+	s.dtds = make(map[string]*dtd.DTD)
+	s.srcs = make(map[string]string)
+	s.loose = make(map[string]*dtd.DTD)
+	s.gen++
 }

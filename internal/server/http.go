@@ -30,6 +30,7 @@ const defaultMaxUpdateBytes = 16 << 20
 //	GET /debug/traces         — recent/slow request traces (EnableTracing)
 //	GET /debug/traces/{id}    — one trace's span waterfall
 //	GET /debug/pprof/         — runtime profiles (EnablePprof)
+//	POST /admin/xacl          — install an XACL document (EnableAdminAPI)
 //
 // Identification uses HTTP Basic authentication against the site's
 // UserDB; requests without credentials proceed as "anonymous". The
@@ -61,6 +62,9 @@ func (s *Site) Handler() http.Handler {
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceDetail)
+	if s.EnableAdminAPI {
+		mux.HandleFunc("POST /admin/xacl", s.handleAdminXACL)
+	}
 	if s.EnablePprof {
 		// The handlers are reached through the site's own mux rather
 		// than the net/http/pprof side-effect registration on
@@ -211,6 +215,63 @@ func (s *Site) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := res.Write(w, dom.WriteOptions{Indent: "  "}); err != nil {
 		log.Printf("server: writing query result: %v", err)
 	}
+}
+
+// DefaultAdminGroup is the directory group consulted by the admin
+// endpoints when Site.AdminGroup is unset.
+const DefaultAdminGroup = "admin"
+
+// handleAdminXACL serves POST /admin/xacl: the body is an XACL document
+// whose authorizations are installed at its declared level — durably,
+// when the site has a write-ahead log. Unlike the data endpoints, the
+// admin surface never admits anonymous callers: the request must carry
+// valid credentials AND the user must belong to the admin group, so a
+// missing group membership reads as 403, not as a silent no-op.
+func (s *Site) handleAdminXACL(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.authenticate(r)
+	if !ok || user == "" {
+		w.Header().Set("WWW-Authenticate", `Basic realm="xmlsec"`)
+		http.Error(w, "authentication required", http.StatusUnauthorized)
+		return
+	}
+	group := s.AdminGroup
+	if group == "" {
+		group = DefaultAdminGroup
+	}
+	if !s.Directory.MemberOf(user, group) {
+		http.Error(w, "admin access requires group "+group, http.StatusForbidden)
+		return
+	}
+	limit := s.MaxUpdateBytes
+	if limit <= 0 {
+		limit = defaultMaxUpdateBytes
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return
+	}
+	x, err := s.LoadXACLContext(r.Context(), string(body))
+	if err != nil {
+		// A malformed XACL is the caller's fault; an append failure is
+		// ours and must not commit (LoadXACLContext already refused).
+		if s.Durable() && errors.Is(err, errWALAppend) {
+			log.Printf("server: admin xacl from %s: %v", user, err)
+			http.Error(w, "internal error", http.StatusInternalServerError)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	log.Printf("server: admin %s installed XACL about=%q level=%s (%d authorizations)",
+		user, x.About, x.Level, len(x.Auths))
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Site) handleDTD(w http.ResponseWriter, r *http.Request) {

@@ -22,12 +22,14 @@ var cycleStages = []string{"parse", "label", "prune", "validate", "unparse"}
 // writes to directly; everything read-on-scrape (cache stats, store
 // generations, audit volume) registers as a Func metric instead.
 type siteMetrics struct {
-	reg       *obs.Registry
-	stage     *obs.HistogramVec // stage
-	httpReqs  *obs.CounterVec   // route, status
-	httpDur   *obs.HistogramVec // route
-	processed *obs.CounterVec   // outcome
-	authFill  *obs.Histogram    // node-set index fill latency
+	reg         *obs.Registry
+	stage       *obs.HistogramVec // stage
+	httpReqs    *obs.CounterVec   // route, status
+	httpDur     *obs.HistogramVec // route
+	processed   *obs.CounterVec   // outcome
+	authFill    *obs.Histogram    // node-set index fill latency
+	walFsync    *obs.Histogram    // WAL fsync latency
+	walSnapshot *obs.Histogram    // snapshot capture+write latency
 }
 
 // Metrics returns the site's metric registry, initializing it on first
@@ -135,6 +137,40 @@ func (s *Site) initMetrics() {
 		m.authFill = reg.NewHistogram("xmlsec_authindex_fill_duration_seconds",
 			"Latency of node-set index fills (one authorization path evaluated over one document).",
 			obs.DefStageBuckets)
+		m.walFsync = reg.NewHistogram("xmlsec_wal_fsync_seconds",
+			"Latency of write-ahead log fsyncs (the durability cost of a mutation under -fsync always).",
+			obs.DefLatencyBuckets)
+		m.walSnapshot = reg.NewHistogram("xmlsec_wal_snapshot_duration_seconds",
+			"Latency of snapshot compactions (state capture + atomic write + segment pruning).",
+			obs.DefLatencyBuckets)
+		reg.NewCounterFunc("xmlsec_wal_appends_total",
+			"Mutation records appended to the write-ahead log (0 when durability is off).", func() float64 {
+				return float64(s.WALStats().Appends)
+			})
+		reg.NewCounterFunc("xmlsec_wal_replay_records_total",
+			"Records replayed from the log during the last recovery.", func() float64 {
+				return float64(s.WALStats().ReplayRecords)
+			})
+		reg.NewCounterFunc("xmlsec_wal_snapshots_total",
+			"Snapshots written since startup (initial baseline + compactions).", func() float64 {
+				return float64(s.WALStats().Snapshots)
+			})
+		reg.NewCounterFunc("xmlsec_wal_segments_pruned_total",
+			"Log segment files deleted after being folded into a snapshot.", func() float64 {
+				return float64(s.WALStats().SegmentsPruned)
+			})
+		reg.NewGaugeFunc("xmlsec_wal_snapshot_bytes",
+			"Payload size of the newest snapshot written this run.", func() float64 {
+				return float64(s.WALStats().SnapshotBytes)
+			})
+		reg.NewGaugeFunc("xmlsec_wal_size_bytes",
+			"Bytes of log a recovery would replay (compaction keys on this).", func() float64 {
+				return float64(s.WALStats().LiveBytes)
+			})
+		reg.NewGaugeFunc("xmlsec_wal_last_lsn",
+			"Sequence number of the newest durable mutation record.", func() float64 {
+				return float64(s.WALStats().LastLSN)
+			})
 		s.metrics = m
 		if s.Engine != nil {
 			s.Engine.SetStageObserver(stageRecorder{m.stage})
@@ -229,6 +265,8 @@ func routeOf(path string) string {
 		return "/query/"
 	case strings.HasPrefix(path, "/dtds/"):
 		return "/dtds/"
+	case strings.HasPrefix(path, "/admin/"):
+		return "/admin/"
 	case strings.HasPrefix(path, "/debug/pprof/"):
 		return "/debug/pprof/"
 	case strings.HasPrefix(path, "/debug/traces"):

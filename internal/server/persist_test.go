@@ -1,0 +1,335 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/labexample"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/wal"
+)
+
+// durableLabSite assembles the example site (plus Sam's read/write
+// authority, as in writerSite) and enables durability in dir. The
+// grants precede EnableDurability, so on a fresh dir they land in the
+// initial baseline snapshot; on an existing dir they are discarded and
+// re-established from that snapshot — either way the data directory
+// alone determines the recovered state.
+func durableLabSite(t *testing.T, dir string) *Site {
+	t.Helper()
+	site := labSite(t)
+	if err := site.Auths.Add(authz.InstanceLevel,
+		authz.MustParse(`<<Admin,*,*>,CSlab.xml:/laboratory,read,+,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.GrantWrite(authz.InstanceLevel,
+		`<<Admin,*,*>,CSlab.xml:/laboratory,write,+,R>`); err != nil {
+		t.Fatal(err)
+	}
+	site.EnableAdminAPI = true
+	site.AdminGroup = "Admin"
+	if err := site.EnableDurability(dir, DurabilityOptions{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+func do(t *testing.T, h http.Handler, method, path, user, ip, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	req.RemoteAddr = ip + ":4000"
+	if user != "" {
+		req.SetBasicAuth(user, "pw-"+strings.ToLower(user))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// activeSegment returns the newest log segment in dir (names embed the
+// first LSN in fixed-width hex, so lexical order is numeric order).
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no log segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(segs)
+	return segs[len(segs)-1]
+}
+
+// TestDurableHTTPRoundTrip is the acceptance scenario: mutate a running
+// site over HTTP (document update + XACL install), stop it, recover a
+// fresh site from the data directory alone, and require byte-identical
+// views and identical access decisions — then once more after a torn
+// write is simulated on the log tail.
+func TestDurableHTTPRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	site := durableLabSite(t, dir)
+	h := site.Handler()
+
+	if rec := do(t, h, http.MethodGet, "/docs/CSlab.xml", "Tom", "130.100.50.8", ""); rec.Code != http.StatusOK ||
+		strings.Contains(rec.Body.String(), "Ada Turing") {
+		t.Fatalf("Tom's initial view wrong (code %d):\n%s", rec.Code, rec.Body.String())
+	}
+
+	// Mutation 1: Sam replaces the document through the write path.
+	if rec := do(t, h, http.MethodPut, "/docs/CSlab.xml", "Sam", "130.89.56.8", updatedCSlab); rec.Code != http.StatusNoContent {
+		t.Fatalf("PUT as Sam: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Mutation 2: Sam installs an XACL over the admin API, opening the
+	// managers to Foreign — Tom's view gains "Ada Turing".
+	grant := (&authz.XACL{About: "CSlab.xml", Auths: []*authz.Authorization{
+		authz.MustParse(`<<Foreign,*,*>,CSlab.xml://manager,read,+,R>`),
+	}}).String()
+	if rec := do(t, h, http.MethodPost, "/admin/xacl", "Sam", "130.89.56.8", grant); rec.Code != http.StatusNoContent {
+		t.Fatalf("POST /admin/xacl as Sam: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Admin surface decisions: anonymous is 401 (never a silent no-op),
+	// a non-admin user is 403, a malformed XACL is the caller's fault.
+	if rec := do(t, h, http.MethodPost, "/admin/xacl", "", "130.100.50.8", grant); rec.Code != http.StatusUnauthorized {
+		t.Errorf("anonymous admin POST: HTTP %d, want 401", rec.Code)
+	}
+	if rec := do(t, h, http.MethodPost, "/admin/xacl", "Tom", "130.100.50.8", grant); rec.Code != http.StatusForbidden {
+		t.Errorf("non-admin POST: HTTP %d, want 403", rec.Code)
+	}
+	if rec := do(t, h, http.MethodPost, "/admin/xacl", "Sam", "130.89.56.8", "<notxacl/>"); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("malformed XACL: HTTP %d, want 422", rec.Code)
+	}
+
+	tomView := do(t, h, http.MethodGet, "/docs/CSlab.xml", "Tom", "130.100.50.8", "")
+	if tomView.Code != http.StatusOK || !strings.Contains(tomView.Body.String(), "Ada Turing") ||
+		strings.Contains(tomView.Body.String(), "Web Search") {
+		t.Fatalf("Tom's post-mutation view wrong (code %d):\n%s", tomView.Code, tomView.Body.String())
+	}
+	samView := do(t, h, http.MethodGet, "/docs/CSlab.xml", "Sam", "130.89.56.8", "")
+	if samView.Code != http.StatusOK {
+		t.Fatalf("Sam's view: HTTP %d", samView.Code)
+	}
+	// Anonymous requesters are implicitly in group Public, whose grant
+	// on public papers gives them a partial view; pin it too.
+	anonView := do(t, h, http.MethodGet, "/docs/CSlab.xml", "", "9.9.9.9", "")
+	if anonView.Code != http.StatusOK {
+		t.Fatalf("anonymous view: HTTP %d", anonView.Code)
+	}
+	if st := site.WALStats(); st.Appends < 2 || st.Snapshots < 1 {
+		t.Errorf("WAL stats after mutations: %+v", st)
+	}
+
+	// Stop the first "process".
+	if err := site.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover a fresh site from the data directory alone.
+	site2 := durableLabSite(t, dir)
+	h2 := site2.Handler()
+	if got := do(t, h2, http.MethodGet, "/docs/CSlab.xml", "Tom", "130.100.50.8", ""); got.Code != http.StatusOK ||
+		got.Body.String() != tomView.Body.String() {
+		t.Errorf("Tom's recovered view differs (code %d):\n--- before ---\n%s\n--- after ---\n%s",
+			got.Code, tomView.Body.String(), got.Body.String())
+	}
+	if got := do(t, h2, http.MethodGet, "/docs/CSlab.xml", "Sam", "130.89.56.8", ""); got.Body.String() != samView.Body.String() {
+		t.Errorf("Sam's recovered view differs:\n%s", got.Body.String())
+	}
+	// Decisions survive too: the anonymous partial view is unchanged,
+	// and Tom still cannot write.
+	if rec := do(t, h2, http.MethodGet, "/docs/CSlab.xml", "", "9.9.9.9", ""); rec.Body.String() != anonView.Body.String() {
+		t.Errorf("anonymous recovered view differs:\n%s", rec.Body.String())
+	}
+	if rec := do(t, h2, http.MethodPut, "/docs/CSlab.xml", "Tom", "130.100.50.8", updatedCSlab); rec.Code != http.StatusForbidden {
+		t.Errorf("Tom's PUT after recovery: HTTP %d, want 403", rec.Code)
+	}
+	if err := site2.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn write: a crash mid-append leaves a partial frame
+	// at the log's tail. Recovery must truncate it and serve the last
+	// committed state.
+	seg := activeSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x99, 0x01, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	site3 := durableLabSite(t, dir)
+	if site3.WALStats().TruncatedBytes == 0 {
+		t.Error("torn tail was not truncated")
+	}
+	h3 := site3.Handler()
+	if got := do(t, h3, http.MethodGet, "/docs/CSlab.xml", "Tom", "130.100.50.8", ""); got.Body.String() != tomView.Body.String() {
+		t.Errorf("Tom's view after torn-tail recovery differs:\n%s", got.Body.String())
+	}
+	// The log accepts new mutations after healing the tail.
+	if err := site3.PutDocument(labexample.DocURI, labexample.DocSource); err != nil {
+		t.Fatalf("mutation after torn-tail recovery: %v", err)
+	}
+	if err := site3.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillPointEveryByte cuts the log at every byte boundary of the
+// final record and recovers: every prefix must yield the pre-mutation
+// state, the full log the post-mutation state, and no cut may corrupt
+// recovery. This is the site-level half of wal.TestTornTailEveryByte —
+// here the record is a real document replacement.
+func TestKillPointEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	site := durableLabSite(t, dir)
+	sam := subjects.Requester{User: "Sam", IP: "130.89.56.8"}
+	pre, err := site.Process(sam, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := activeSegment(t, dir)
+	st0, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := site.PutDocument(labexample.DocURI, updatedCSlab); err != nil {
+		t.Fatal(err)
+	}
+	post, err := site.Process(sam, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.XML == post.XML {
+		t.Fatal("mutation did not change the view; the kill points would prove nothing")
+	}
+	if err := site.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Size() <= st0.Size() {
+		t.Fatalf("segment did not grow: %d -> %d", st0.Size(), st1.Size())
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := st0.Size(); cut <= st1.Size(); cut++ {
+		killDir := filepath.Join(t.TempDir(), "data")
+		if err := os.Mkdir(killDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Name() == filepath.Base(seg) {
+				b = b[:cut]
+			}
+			if err := os.WriteFile(filepath.Join(killDir, e.Name()), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recovered := durableLabSite(t, killDir)
+		res, err := recovered.Process(sam, labexample.DocURI)
+		if err != nil {
+			t.Fatalf("cut at byte %d: recovery corrupt: %v", cut, err)
+		}
+		want := pre.XML
+		if cut == st1.Size() {
+			want = post.XML
+		}
+		if res.XML != want {
+			t.Fatalf("cut at byte %d: view is neither pre- nor the expected state:\n%s", cut, res.XML)
+		}
+		if err := recovered.CloseDurability(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentMutationDuringCompaction exercises Update and QueryDoc
+// racing with snapshot compaction; run under -race it pins the
+// persistMu/store-lock discipline. A final recovery proves the log
+// still replays to one of the two alternating states.
+func TestConcurrentMutationDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	site := durableLabSite(t, dir)
+	sam := subjects.Requester{User: "Sam", IP: "130.89.56.8"}
+	sources := [2]string{labexample.DocSource, updatedCSlab}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := site.Update(sam, labexample.DocURI, sources[i%2]); err != nil {
+				t.Errorf("concurrent update: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := site.QueryDoc(labexample.Tom, labexample.DocURI, "//title"); err != nil {
+				t.Errorf("concurrent query: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if err := site.Compact(); err != nil {
+			t.Errorf("compaction under load: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Update stores the merged serialization, not the raw PUT body, so
+	// the durability property to pin is: recovery reproduces the last
+	// committed source exactly.
+	last := site.Docs.Doc(labexample.DocURI).Source
+	if got := site.WALStats().Snapshots; got < 20 {
+		t.Errorf("snapshots written under load = %d, want >= 20", got)
+	}
+	if err := site.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := durableLabSite(t, dir)
+	defer recovered.CloseDurability()
+	if got := recovered.Docs.Doc(labexample.DocURI).Source; got != last {
+		t.Errorf("recovered document is not the last committed state:\n--- want ---\n%s\n--- got ---\n%s", last, got)
+	}
+}

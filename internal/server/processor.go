@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xmlsec/internal/authz"
@@ -14,6 +15,7 @@ import (
 	"xmlsec/internal/dtd"
 	"xmlsec/internal/subjects"
 	"xmlsec/internal/trace"
+	"xmlsec/internal/wal"
 	"xmlsec/internal/xmlparse"
 )
 
@@ -69,6 +71,27 @@ type Site struct {
 	metricsOnce sync.Once
 	metrics     *siteMetrics
 
+	// wal, when non-nil, makes every mutation durable; see
+	// EnableDurability. persistMu serializes mutations so the WAL's
+	// append order equals the in-memory commit order, and snapshots
+	// capture a consistent cut. snapshotBytes is the compaction
+	// threshold; compacting is the single-flight latch for the
+	// background compactor.
+	persistMu     sync.Mutex
+	wal           *wal.Log
+	snapshotBytes int64
+	compacting    atomic.Bool
+
+	// EnableAdminAPI exposes the mutating admin endpoints (POST
+	// /admin/xacl) on the site's handler. Off by default: policy
+	// mutation over HTTP needs an explicit opt-in, and callers must
+	// additionally authenticate as a member of AdminGroup.
+	EnableAdminAPI bool
+
+	// AdminGroup is the directory group whose members may call the
+	// admin endpoints; empty selects DefaultAdminGroup.
+	AdminGroup string
+
 	// MaxUpdateBytes bounds PUT /docs/ request bodies; ≤0 selects the
 	// 16 MiB default. Oversized uploads are rejected with 413 rather
 	// than silently truncated.
@@ -100,15 +123,27 @@ func NewSite() *Site {
 }
 
 // LoadXACL parses an XACL document and installs its authorizations at
-// its declared level.
+// its declared level, durably when the site has a write-ahead log.
 func (s *Site) LoadXACL(input string) (*authz.XACL, error) {
+	return s.LoadXACLContext(context.Background(), input)
+}
+
+// LoadXACLContext is LoadXACL under a request context; a traced
+// context records the WAL append as a span.
+func (s *Site) LoadXACLContext(ctx context.Context, input string) (*authz.XACL, error) {
 	x, err := authz.ParseXACL(input)
 	if err != nil {
+		return nil, err
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if err := s.logMutation(ctx, mutation{Op: "xacl", Source: input}); err != nil {
 		return nil, err
 	}
 	if err := s.Auths.AddAll(x.Level, x.Auths); err != nil {
 		return nil, err
 	}
+	s.maybeCompact()
 	return x, nil
 }
 

@@ -131,7 +131,10 @@ func (s *Site) UpdateContext(ctx context.Context, rq subjects.Requester, uri, ne
 		}
 	}
 	oldDoc := sd.Doc
-	if err := s.Docs.AddDocument(uri, merged.String()); err != nil {
+	// The replacement is durable before it is visible: the WAL record
+	// is appended (and, under -fsync always, flushed) before the commit
+	// swaps the parsed tree in, inside PutDocumentContext.
+	if err := s.PutDocumentContext(ctx, uri, merged.String()); err != nil {
 		return err
 	}
 	// The PUT replaced the parsed tree: release the superseded document
@@ -178,7 +181,8 @@ func (s *Site) QueryDocContext(ctx context.Context, rq subjects.Requester, uri, 
 }
 
 // GrantWrite installs a write authorization from its tuple form,
-// rejecting tuples whose action is not "write".
+// rejecting tuples whose action is not "write". Durable when the site
+// has a write-ahead log.
 func (s *Site) GrantWrite(level authz.Level, tuple string) error {
 	a, err := authz.Parse(tuple)
 	if err != nil {
@@ -187,5 +191,21 @@ func (s *Site) GrantWrite(level authz.Level, tuple string) error {
 	if a.Action != WriteAction {
 		return fmt.Errorf("server: GrantWrite requires action %q, got %q", WriteAction, a.Action)
 	}
-	return s.Auths.Add(level, a)
+	// Pre-check the one way Add can reject, so nothing unappliable is
+	// ever logged.
+	if level == authz.SchemaLevel && a.Type.IsWeak() {
+		return fmt.Errorf("server: weak authorization %s not allowed at schema level", a)
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if err := s.logMutation(context.Background(), mutation{
+		Op: "grant", Level: level.String(), Tuple: tuple,
+	}); err != nil {
+		return err
+	}
+	if err := s.Auths.Add(level, a); err != nil {
+		return err
+	}
+	s.maybeCompact()
+	return nil
 }

@@ -1,0 +1,20 @@
+// Package wal makes the site's mutable state durable: a write-ahead
+// log of mutation records plus periodic snapshots, with crash recovery
+// that replays the newest valid snapshot and the log tail behind it.
+//
+// The log is a sequence of segment files (seg-<firstLSN>.wal), each a
+// run of length-prefixed, CRC32C-checksummed records. A record is
+// durable once its frame is fully on disk (subject to the configured
+// fsync policy); a crash mid-append leaves a torn final frame that
+// recovery detects and truncates, so replay always yields either the
+// pre- or the post-mutation state, never a corrupt one. Snapshots
+// (snap-<lsn>.snap) are single framed records written to a temporary
+// file and atomically renamed into place; once a snapshot at LSN n is
+// durable, segments whose records are all ≤ n are pruned.
+//
+// The package stores opaque payloads. What a mutation record or a
+// snapshot means is the caller's contract (internal/server encodes
+// site mutations as JSON); wal's contract is framing, ordering,
+// durability, and recovery. See docs/PERSISTENCE.md for the on-disk
+// format and the recovery procedure.
+package wal

@@ -1,0 +1,177 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+// readSnapshotFile reads and verifies a snapshot file: one frame whose
+// LSN must match the one encoded in the file name.
+func readSnapshotFile(path string, want uint64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var payload []byte
+	n := 0
+	err = readFrames(f, path, func(lsn uint64, p []byte, _ int64) error {
+		if lsn != want {
+			return &CorruptError{Path: path, Reason: fmt.Sprintf("snapshot frame LSN %d, want %d", lsn, want)}
+		}
+		payload = p
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n != 1 {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("snapshot holds %d frames, want 1", n)}
+	}
+	return payload, nil
+}
+
+// Snapshot returns the newest valid snapshot's payload and the LSN it
+// covers; nil and 0 when none exists.
+func (l *Log) Snapshot() ([]byte, uint64, error) {
+	l.mu.Lock()
+	path, lsn := l.snapPath, l.snapLSN
+	l.mu.Unlock()
+	if path == "" {
+		return nil, 0, nil
+	}
+	payload, err := readSnapshotFile(path, lsn)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, lsn, nil
+}
+
+// Replay delivers every durable record newer than the snapshot, in LSN
+// order. Call it once after Open, before appending; fn errors abort the
+// replay.
+func (l *Log) Replay(fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segments...)
+	snapLSN := l.snapLSN
+	l.mu.Unlock()
+	for _, seg := range segs {
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return err
+		}
+		err = readFrames(f, seg.path, func(lsn uint64, payload []byte, _ int64) error {
+			if lsn <= snapLSN {
+				return nil
+			}
+			l.replayRecords.Add(1)
+			return fn(lsn, payload)
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot durably records payload as the state as of lsn (which
+// must not exceed the newest record), then prunes snapshots and
+// segments the new snapshot supersedes. The write is atomic: the
+// payload lands in a temporary file, is flushed, and is renamed into
+// place, so a crash leaves either the previous snapshot or the new one,
+// never a partial file.
+func (l *Log) WriteSnapshot(lsn uint64, payload []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log is closed")
+	}
+	if lsn >= l.nextLSN {
+		next := l.nextLSN
+		l.mu.Unlock()
+		return fmt.Errorf("wal: snapshot at LSN %d is past the log end %d", lsn, next-1)
+	}
+	if lsn < l.snapLSN {
+		cur := l.snapLSN
+		l.mu.Unlock()
+		return fmt.Errorf("wal: snapshot at LSN %d is older than the current snapshot %d", lsn, cur)
+	}
+	l.mu.Unlock()
+
+	final := snapPath(l.opts.Dir, lsn)
+	tmp := final + ".tmp"
+	frame := appendFrame(make([]byte, 0, frameHeader+len(payload)), lsn, payload)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return err
+	}
+	if l.opts.Sync != SyncNever {
+		if err := l.fsyncData(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := l.fsyncDir(); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old := l.snapPath
+	l.snapLSN, l.snapPath = lsn, final
+	l.snapshots.Add(1)
+	l.snapshotBytes.Store(uint64(len(payload)))
+	if old != "" && old != final {
+		_ = os.Remove(old)
+	}
+	// If the snapshot covers the whole log, rotate so the active
+	// segment becomes prunable and replay-on-boot starts empty.
+	if lsn == l.nextLSN-1 {
+		if cur := l.segments[len(l.segments)-1]; cur.first < l.nextLSN {
+			if err := l.rotateLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	l.pruneCoveredLocked()
+	return nil
+}
+
+// pruneCoveredLocked deletes segments whose every record is covered by
+// the snapshot at l.snapLSN. The active (last) segment is never pruned.
+func (l *Log) pruneCoveredLocked() {
+	if l.snapLSN == 0 {
+		return
+	}
+	kept := l.segments[:0]
+	for i, seg := range l.segments {
+		if i == len(l.segments)-1 {
+			kept = append(kept, seg)
+			continue
+		}
+		// All records of segment i precede segment i+1's first LSN.
+		if l.segments[i+1].first <= l.snapLSN+1 {
+			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+				l.logf("wal: pruning %s: %v", seg.path, err)
+				kept = append(kept, seg)
+				continue
+			}
+			l.segmentsPruned.Add(1)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = kept
+}

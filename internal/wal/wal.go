@@ -1,0 +1,643 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy controls when appended records are forced to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a record is durable before
+	// Append returns. Strongest guarantee, one disk flush per mutation.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (Options.SyncInterval).
+	// A crash can lose up to one interval of acknowledged mutations,
+	// but never corrupts the log.
+	SyncInterval
+	// SyncNever leaves flushing to the operating system. A crash of the
+	// process alone loses nothing (the OS holds the writes); a machine
+	// crash can lose any unflushed suffix.
+	SyncNever
+)
+
+// String names the policy as accepted by ParseSyncPolicy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses "always", "interval", or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the data directory; created if absent. One Log owns one
+	// directory.
+	Dir string
+	// Sync is the fsync policy for appends (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the flush period under SyncInterval (default
+	// 50ms).
+	SyncInterval time.Duration
+	// SegmentBytes caps a segment file; the log rotates to a new
+	// segment past it (default 4 MiB).
+	SegmentBytes int64
+	// FsyncObserver, if set, receives the duration of every data-file
+	// fsync (for latency histograms).
+	FsyncObserver func(time.Duration)
+	// Logf, if set, receives recovery notes (torn tails truncated,
+	// segments pruned). Silent when nil.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) norm() Options {
+	if o.Sync == SyncInterval && o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Record framing. A frame is
+//
+//	[4 bytes: payload length, little-endian]
+//	[4 bytes: CRC32C of (LSN bytes ‖ payload)]
+//	[8 bytes: LSN, little-endian]
+//	[payload]
+//
+// The CRC covers the LSN so a frame pasted at the wrong position is
+// rejected, and the length field is bounded by maxRecordBytes so a
+// corrupt length cannot drive a giant allocation.
+const frameHeader = 16
+
+// maxRecordBytes bounds a single record's payload; larger lengths in a
+// frame header are treated as corruption.
+const maxRecordBytes = 1 << 28
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func frameCRC(lsn uint64, payload []byte) uint32 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], lsn)
+	c := crc32.Update(0, castagnoli, b[:])
+	return crc32.Update(c, castagnoli, payload)
+}
+
+func appendFrame(dst []byte, lsn uint64, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], frameCRC(lsn, payload))
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// CorruptError reports a damaged record. Torn marks damage that
+// extends to the end of the file — the signature of an interrupted
+// append, which recovery may safely truncate when the file is the
+// final segment. Damage with intact bytes after it proves real
+// corruption (a torn write is always a suffix), and recovery refuses
+// to guess.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+	Torn   bool
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// segment is one log file, named seg-<firstLSN>.wal.
+type segment struct {
+	path  string
+	first uint64 // LSN of the first record written to this segment
+	size  int64
+}
+
+// Stats is a point-in-time read of the log's counters.
+type Stats struct {
+	// Appends and AppendedBytes count records accepted since Open.
+	Appends, AppendedBytes uint64
+	// Fsyncs counts data-file flushes.
+	Fsyncs uint64
+	// ReplayRecords counts records delivered by Replay.
+	ReplayRecords uint64
+	// TruncatedBytes counts torn-tail bytes dropped during Open.
+	TruncatedBytes uint64
+	// Snapshots and SnapshotBytes describe snapshot writes since Open
+	// (SnapshotBytes is the payload size of the newest one).
+	Snapshots, SnapshotBytes uint64
+	// SegmentsPruned counts segment files deleted by compaction.
+	SegmentsPruned uint64
+	// LastLSN is the sequence number of the newest durable record (0
+	// when the log is empty).
+	LastLSN uint64
+	// SnapshotLSN is the LSN covered by the newest snapshot (0 = none).
+	SnapshotLSN uint64
+	// LiveBytes is the total size of segments still needed for
+	// recovery (those holding records newer than the snapshot).
+	LiveBytes int64
+}
+
+// Log is an append-only write-ahead log over a data directory. All
+// methods are safe for concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	active   *os.File
+	segments []segment // ascending firstLSN; last one is active
+	nextLSN  uint64
+	snapLSN  uint64
+	snapPath string
+	dirty    bool
+	closed   bool
+	flushEnd chan struct{}
+
+	appends        atomic.Uint64
+	appendedBytes  atomic.Uint64
+	fsyncs         atomic.Uint64
+	replayRecords  atomic.Uint64
+	truncatedBytes atomic.Uint64
+	snapshots      atomic.Uint64
+	snapshotBytes  atomic.Uint64
+	segmentsPruned atomic.Uint64
+}
+
+// Open scans the data directory, discards leftover temporary files,
+// locates the newest valid snapshot, verifies the log tail behind it —
+// truncating a torn final record — and readies the log for appends.
+// Replay delivers the surviving records.
+func Open(opts Options) (*Log, error) {
+	opts = opts.norm()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{opts: opts, nextLSN: 1}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		l.flushEnd = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+func (l *Log) logf(format string, args ...any) {
+	if l.opts.Logf != nil {
+		l.opts.Logf(format, args...)
+	}
+}
+
+// scan inventories the directory: removes temp files, picks the newest
+// valid snapshot, validates segments, and truncates a torn tail.
+func (l *Log) scan() error {
+	entries, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	var snaps []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A crash mid-snapshot leaves a temp file; it was never
+			// renamed, so it was never the snapshot of record.
+			_ = os.Remove(filepath.Join(l.opts.Dir, name))
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			if lsn, ok := parseSeqName(name, "snap-", ".snap"); ok {
+				snaps = append(snaps, lsn)
+			}
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".wal"):
+			if first, ok := parseSeqName(name, "seg-", ".wal"); ok {
+				info, err := e.Info()
+				if err != nil {
+					return err
+				}
+				l.segments = append(l.segments, segment{
+					path:  filepath.Join(l.opts.Dir, name),
+					first: first,
+					size:  info.Size(),
+				})
+			}
+		}
+	}
+	// Newest snapshot that actually reads back intact wins; damaged
+	// newer ones are removed so they cannot shadow a good older one on
+	// the next boot.
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	for _, lsn := range snaps {
+		path := snapPath(l.opts.Dir, lsn)
+		if _, err := readSnapshotFile(path, lsn); err == nil {
+			l.snapLSN, l.snapPath = lsn, path
+			break
+		}
+		l.logf("wal: dropping unreadable snapshot %s", path)
+		_ = os.Remove(path)
+	}
+	sort.Slice(l.segments, func(i, j int) bool { return l.segments[i].first < l.segments[j].first })
+	// Segments entirely covered by the snapshot would re-deliver old
+	// records if a later prune was interrupted; drop them now.
+	l.pruneCoveredLocked()
+
+	// Verify every surviving segment and establish nextLSN. Only the
+	// final segment may end in a torn frame.
+	expect := uint64(0)
+	for i := range l.segments {
+		seg := &l.segments[i]
+		if expect != 0 && seg.first != expect {
+			return &CorruptError{Path: seg.path, Offset: 0,
+				Reason: fmt.Sprintf("segment starts at LSN %d, want %d (missing segment?)", seg.first, expect)}
+		}
+		last, goodOff, verr := verifySegment(seg.path, seg.first)
+		if verr != nil {
+			var ce *CorruptError
+			if i != len(l.segments)-1 || !errors.As(verr, &ce) || !ce.Torn {
+				return verr
+			}
+			// Torn tail of the final segment: the mutation it framed was
+			// never acknowledged as durable, so dropping it restores the
+			// pre-mutation state.
+			dropped := seg.size - goodOff
+			l.logf("wal: truncating torn tail of %s: %d bytes dropped", seg.path, dropped)
+			if err := os.Truncate(seg.path, goodOff); err != nil {
+				return err
+			}
+			l.truncatedBytes.Add(uint64(dropped))
+			seg.size = goodOff
+		}
+		if goodOff == 0 && i == len(l.segments)-1 {
+			// The final segment holds no complete record; its name still
+			// fixes the next LSN (records before it are all durable).
+			last = seg.first - 1
+		}
+		if last >= expect {
+			expect = last + 1
+		} else if expect == 0 {
+			expect = seg.first
+		}
+	}
+	switch {
+	case expect > 0:
+		l.nextLSN = expect
+	default:
+		l.nextLSN = l.snapLSN + 1
+	}
+	if l.nextLSN <= l.snapLSN {
+		return &CorruptError{Path: l.snapPath, Offset: 0,
+			Reason: fmt.Sprintf("snapshot covers LSN %d but log ends at %d", l.snapLSN, l.nextLSN-1)}
+	}
+	return nil
+}
+
+// verifySegment walks a segment's frames. It returns the last LSN read,
+// the offset just past the last intact frame, and an error describing
+// the first damaged frame, if any.
+func verifySegment(path string, first uint64) (last uint64, goodOff int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	expect := first
+	last = first - 1
+	err = readFrames(f, path, func(lsn uint64, payload []byte, end int64) error {
+		if lsn != expect {
+			return &CorruptError{Path: path, Offset: goodOff,
+				Reason: fmt.Sprintf("record LSN %d, want %d", lsn, expect)}
+		}
+		expect++
+		last = lsn
+		goodOff = end
+		return nil
+	})
+	return last, goodOff, err
+}
+
+// readFrames decodes frames from r, invoking fn(lsn, payload, endOffset)
+// per intact frame. It returns nil at a clean EOF and a CorruptError at
+// the first damaged frame.
+func readFrames(r io.Reader, path string, fn func(lsn uint64, payload []byte, end int64) error) error {
+	br := &countReader{r: r}
+	hdr := make([]byte, frameHeader)
+	for {
+		start := br.n
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return nil // clean end
+			}
+			if err == io.ErrUnexpectedEOF {
+				return &CorruptError{Path: path, Offset: start, Reason: "torn frame header", Torn: true}
+			}
+			return err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if n > maxRecordBytes {
+			return &CorruptError{Path: path, Offset: start,
+				Reason: fmt.Sprintf("frame length %d exceeds limit", n)}
+		}
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		lsn := binary.LittleEndian.Uint64(hdr[8:16])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return &CorruptError{Path: path, Offset: start, Reason: "torn frame payload", Torn: true}
+			}
+			return err
+		}
+		if frameCRC(lsn, payload) != crc {
+			// Only a frame that is the last thing in the file can be a
+			// torn write; anything after it proves mid-file corruption.
+			var one [1]byte
+			_, peekErr := br.Read(one[:])
+			atEOF := peekErr == io.EOF
+			return &CorruptError{Path: path, Offset: start, Reason: "checksum mismatch", Torn: atEOF}
+		}
+		if err := fn(lsn, payload, br.n); err != nil {
+			return err
+		}
+	}
+}
+
+// countReader tracks the byte offset of an io.Reader.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// openActive opens (or creates) the segment that receives appends.
+func (l *Log) openActive() error {
+	if n := len(l.segments); n > 0 && l.segments[n-1].size < l.opts.SegmentBytes {
+		seg := l.segments[n-1]
+		f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.active = f
+		return nil
+	}
+	return l.rotateLocked()
+}
+
+// rotateLocked closes the active segment (flushing it under durable
+// policies) and starts a fresh one named by the next LSN.
+func (l *Log) rotateLocked() error {
+	if l.active != nil {
+		if l.opts.Sync != SyncNever {
+			if err := l.fsyncData(l.active); err != nil {
+				return err
+			}
+		}
+		if err := l.active.Close(); err != nil {
+			return err
+		}
+		l.active = nil
+	}
+	path := segPath(l.opts.Dir, l.nextLSN)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := l.fsyncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.segments = append(l.segments, segment{path: path, first: l.nextLSN})
+	return nil
+}
+
+// Append frames payload as the next record and writes it to the active
+// segment, honoring the fsync policy before returning. The returned
+// LSN is the record's position in the total mutation order.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	cur := &l.segments[len(l.segments)-1]
+	if cur.size > 0 && cur.size+int64(frameHeader+len(payload)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+		cur = &l.segments[len(l.segments)-1]
+	}
+	lsn := l.nextLSN
+	frame := appendFrame(make([]byte, 0, frameHeader+len(payload)), lsn, payload)
+	if _, err := l.active.Write(frame); err != nil {
+		return 0, err
+	}
+	cur.size += int64(len(frame))
+	l.nextLSN++
+	l.dirty = true
+	l.appends.Add(1)
+	l.appendedBytes.Add(uint64(len(frame)))
+	if l.opts.Sync == SyncAlways {
+		if err := l.fsyncData(l.active); err != nil {
+			return 0, err
+		}
+		l.dirty = false
+	}
+	return lsn, nil
+}
+
+func (l *Log) fsyncData(f *os.File) error {
+	start := time.Now()
+	err := f.Sync()
+	l.fsyncs.Add(1)
+	if l.opts.FsyncObserver != nil {
+		l.opts.FsyncObserver(time.Since(start))
+	}
+	return err
+}
+
+// fsyncDir flushes the directory so renames and creates are durable.
+func (l *Log) fsyncDir() error {
+	if l.opts.Sync == SyncNever {
+		return nil
+	}
+	d, err := os.Open(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// flushLoop services SyncInterval.
+func (l *Log) flushLoop() {
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.Flush()
+		case <-l.flushEnd:
+			return
+		}
+	}
+}
+
+// Flush forces buffered appends to stable storage (a no-op when none
+// are pending).
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || !l.dirty {
+		return nil
+	}
+	if err := l.fsyncData(l.active); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// Close flushes and closes the log. The directory can then be opened
+// again (by a new process, typically).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	if l.flushEnd != nil {
+		close(l.flushEnd)
+	}
+	var err error
+	if l.active != nil {
+		if l.dirty && l.opts.Sync != SyncNever {
+			err = l.fsyncData(l.active)
+		}
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
+		l.active = nil
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// LastLSN returns the newest appended (or recovered) record's LSN, 0
+// when the log has none.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	live := l.liveBytesLocked()
+	last := l.nextLSN - 1
+	snap := l.snapLSN
+	l.mu.Unlock()
+	return Stats{
+		Appends:        l.appends.Load(),
+		AppendedBytes:  l.appendedBytes.Load(),
+		Fsyncs:         l.fsyncs.Load(),
+		ReplayRecords:  l.replayRecords.Load(),
+		TruncatedBytes: l.truncatedBytes.Load(),
+		Snapshots:      l.snapshots.Load(),
+		SnapshotBytes:  l.snapshotBytes.Load(),
+		SegmentsPruned: l.segmentsPruned.Load(),
+		LastLSN:        last,
+		SnapshotLSN:    snap,
+		LiveBytes:      live,
+	}
+}
+
+// liveBytesLocked sums the segments recovery would still read: those
+// holding any record past the newest snapshot.
+func (l *Log) liveBytesLocked() int64 {
+	var n int64
+	for i, seg := range l.segments {
+		lastInSeg := l.nextLSN - 1
+		if i+1 < len(l.segments) {
+			lastInSeg = l.segments[i+1].first - 1
+		}
+		if lastInSeg > l.snapLSN {
+			n += seg.size
+		}
+	}
+	return n
+}
+
+// SizeSinceSnapshot reports the bytes of log a recovery would replay;
+// compaction thresholds key on it.
+func (l *Log) SizeSinceSnapshot() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.liveBytesLocked()
+}
+
+func segPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%016x.wal", first))
+}
+
+func snapPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", lsn))
+}
+
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	n, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

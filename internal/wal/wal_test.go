@@ -1,0 +1,368 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	opts.Dir = dir
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func replayAll(t *testing.T, l *Log) map[uint64]string {
+	t.Helper()
+	got := make(map[uint64]string)
+	var prev uint64
+	if err := l.Replay(func(lsn uint64, payload []byte) error {
+		if lsn <= prev {
+			t.Fatalf("replay out of order: %d after %d", lsn, prev)
+		}
+		prev = lsn
+		got[lsn] = string(payload)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways})
+	want := map[uint64]string{}
+	for i := 1; i <= 20; i++ {
+		payload := fmt.Sprintf("record-%d", i)
+		lsn, err := l.Append([]byte(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("Append #%d returned LSN %d", i, lsn)
+		}
+		want[lsn] = payload
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, dir, Options{Sync: SyncAlways})
+	got := replayAll(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for lsn, p := range want {
+		if got[lsn] != p {
+			t.Errorf("record %d = %q, want %q", lsn, got[lsn], p)
+		}
+	}
+	// Appends continue the sequence.
+	lsn, err := l2.Append([]byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 21 {
+		t.Errorf("post-recovery append LSN = %d, want 21", lsn)
+	}
+}
+
+// TestTornTailEveryByte is the kill-point matrix: the log is cut at
+// every byte boundary inside the final record's frame, and recovery
+// must always yield exactly the records before it — the pre-mutation
+// state — never an error, a corrupt record, or a partial payload.
+func TestTornTailEveryByte(t *testing.T) {
+	master := t.TempDir()
+	l := openT(t, master, Options{Sync: SyncAlways})
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("keep-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	intact := l.Stats().AppendedBytes
+	finalPayload := []byte("the final mutation, long enough to span some bytes")
+	if _, err := l.Append(finalPayload); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(master, "seg-*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one segment, got %v (%v)", segs, err)
+	}
+	full, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := frameHeader + len(finalPayload)
+	if int(intact) != len(full)-frameLen {
+		t.Fatalf("intact prefix %d, file %d, final frame %d", intact, len(full), frameLen)
+	}
+	for cut := int(intact); cut < len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segs[0])), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(Options{Dir: dir, Sync: SyncNever})
+		if err != nil {
+			t.Fatalf("cut at byte %d: Open: %v", cut, err)
+		}
+		got := replayAll(t, l2)
+		if len(got) != 3 {
+			t.Fatalf("cut at byte %d: replayed %d records, want 3 (pre-mutation state)", cut, len(got))
+		}
+		for i := 1; i <= 3; i++ {
+			if got[uint64(i)] != fmt.Sprintf("keep-%d", i) {
+				t.Fatalf("cut at byte %d: record %d = %q", cut, i, got[uint64(i)])
+			}
+		}
+		// The torn record's LSN must be reusable: the mutation was never
+		// acknowledged, so the retry takes its place.
+		if lsn, err := l2.Append([]byte("retry")); err != nil || lsn != 4 {
+			t.Fatalf("cut at byte %d: retry append = (%d, %v), want (4, nil)", cut, lsn, err)
+		}
+		l2.Close()
+	}
+}
+
+// A flipped byte in the final record is indistinguishable from a torn
+// write and must roll back to the previous record; a flipped byte in
+// an earlier record has valid records after it, which proves real
+// corruption and must refuse recovery.
+func TestCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways})
+	if _, err := l.Append([]byte("first-record")); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := l.Stats().AppendedBytes
+	if _, err := l.Append([]byte("second-record")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	full, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("tail", func(t *testing.T) {
+		dir2 := t.TempDir()
+		mut := append([]byte(nil), full...)
+		mut[afterFirst+frameHeader] ^= 0xff // first payload byte of record 2
+		if err := os.WriteFile(filepath.Join(dir2, filepath.Base(segs[0])), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(Options{Dir: dir2, Sync: SyncNever})
+		if err != nil {
+			t.Fatalf("tail corruption must truncate, got %v", err)
+		}
+		defer l2.Close()
+		got := replayAll(t, l2)
+		if len(got) != 1 || got[1] != "first-record" {
+			t.Fatalf("got %v, want only record 1", got)
+		}
+	})
+	t.Run("middle", func(t *testing.T) {
+		dir2 := t.TempDir()
+		mut := append([]byte(nil), full...)
+		mut[frameHeader] ^= 0xff // first payload byte of record 1
+		if err := os.WriteFile(filepath.Join(dir2, filepath.Base(segs[0])), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(Options{Dir: dir2, Sync: SyncNever})
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("mid-log corruption must refuse recovery, got %v", err)
+		}
+	})
+}
+
+func TestSegmentRotationPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncNever, SegmentBytes: 128})
+	const n = 50
+	for i := 1; i <= n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) < 3 {
+		t.Fatalf("want several segments at 128-byte rotation, got %d", len(segs))
+	}
+	l2 := openT(t, dir, Options{Sync: SyncNever, SegmentBytes: 128})
+	got := replayAll(t, l2)
+	if len(got) != n {
+		t.Fatalf("replayed %d, want %d", len(got), n)
+	}
+	for i := 1; i <= n; i++ {
+		if got[uint64(i)] != fmt.Sprintf("payload-%03d", i) {
+			t.Fatalf("record %d = %q", i, got[uint64(i)])
+		}
+	}
+}
+
+func TestSnapshotPrunesAndShortensReplay(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways, SegmentBytes: 64})
+	for i := 1; i <= 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteSnapshot(l.LastLSN(), []byte("state@10")); err != nil {
+		t.Fatal(err)
+	}
+	if live := l.SizeSinceSnapshot(); live != 0 {
+		t.Errorf("live bytes after covering snapshot = %d, want 0", live)
+	}
+	if st := l.Stats(); st.Snapshots != 1 || st.SnapshotLSN != 10 || st.SegmentsPruned == 0 {
+		t.Errorf("stats after snapshot: %+v", st)
+	}
+	for i := 11; i <= 13; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("new-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l2 := openT(t, dir, Options{Sync: SyncAlways, SegmentBytes: 64})
+	snap, lsn, err := l2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap) != "state@10" || lsn != 10 {
+		t.Fatalf("Snapshot = (%q, %d), want (state@10, 10)", snap, lsn)
+	}
+	got := replayAll(t, l2)
+	if len(got) != 3 {
+		t.Fatalf("replay after snapshot delivered %d records, want 3: %v", len(got), got)
+	}
+	for i := 11; i <= 13; i++ {
+		if got[uint64(i)] != fmt.Sprintf("new-%d", i) {
+			t.Fatalf("record %d = %q", i, got[uint64(i)])
+		}
+	}
+}
+
+// A crash between writing the temp snapshot and the rename leaves a
+// .tmp file, which must be discarded; an unreadable renamed snapshot
+// must fall back to the previous valid one.
+func TestSnapshotCrashWindows(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways})
+	for i := 1; i <= 4; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteSnapshot(2, []byte("state@2")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Leftover temp file from a later, interrupted snapshot.
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000004.snap.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A renamed but garbage newer snapshot.
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000003.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir, Options{Sync: SyncAlways})
+	snap, lsn, err := l2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap) != "state@2" || lsn != 2 {
+		t.Fatalf("Snapshot = (%q, %d), want fallback to (state@2, 2)", snap, lsn)
+	}
+	got := replayAll(t, l2)
+	if len(got) != 2 || got[3] != "r3" || got[4] != "r4" {
+		t.Fatalf("replay = %v, want records 3 and 4", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000004.snap.tmp")); !os.IsNotExist(err) {
+		t.Error("leftover .tmp snapshot not removed")
+	}
+}
+
+func TestSnapshotBoundsChecked(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncNever})
+	if _, err := l.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(5, []byte("x")); err == nil {
+		t.Error("snapshot past the log end must fail")
+	}
+	if err := l.WriteSnapshot(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(0, []byte("x")); err == nil {
+		t.Error("snapshot older than the current one must fail")
+	}
+}
+
+func TestSyncIntervalFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{
+		Sync:         SyncInterval,
+		SyncInterval: 5 * time.Millisecond,
+	})
+	if _, err := l.Append([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushAndCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncNever})
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("y")); err == nil {
+		t.Error("append after close must fail")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParseSyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: (%v, %v)", p, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy must fail")
+	}
+}
