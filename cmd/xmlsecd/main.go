@@ -52,7 +52,7 @@ func main() {
 	siteDir := flag.String("site", "site", "site configuration directory")
 	validate := flag.Bool("validate-views", false, "re-validate every view against the loosened DTD")
 	perRequest := flag.Bool("parse-per-request", false, "re-parse documents on every request (fully on-line cycle)")
-	cacheSize := flag.Int("view-cache", 0, "enable the per-requester view cache with this many entries (0 = off)")
+	cacheSize := flag.Int("view-cache", 0, "enable the class-keyed view cache with this many entries (0 = off)")
 	auditPath := flag.String("audit", "", "append JSON-lines audit records to this file")
 	auditMaxBytes := flag.Int64("audit-max-bytes", 0, "rotate the audit file past this size (0 = never rotate)")
 	auditKeep := flag.Int("audit-keep", 3, "rotated audit files to keep (with -audit-max-bytes)")

@@ -19,6 +19,9 @@
 //	                            traced vs untraced request latency
 //	xsbench -exp wal -json BENCH_wal.json
 //	                            PUT throughput under each WAL fsync policy
+//	xsbench -exp classes -json BENCH_classes.json
+//	                            serve cost and cache footprint vs requester
+//	                            population under class-keyed caching
 //	xsbench -exp online -quick  smaller sweeps
 package main
 
@@ -47,7 +50,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace wal all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace wal classes all")
 	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view/authindex/trace/wal experiments to this file")
 	flag.Parse()
@@ -67,8 +70,9 @@ func main() {
 		"authindex": expAuthIndex,
 		"trace":     expTrace,
 		"wal":       expWAL,
+		"classes":   expClasses,
 	}
-	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace", "wal"}
+	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace", "wal", "classes"}
 
 	var names []string
 	if *exp == "all" {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"xmlsec/internal/subjects"
 )
 
 // Level distinguishes where an authorization is attached.
@@ -113,6 +115,65 @@ func (s *Store) Generation() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.gen
+}
+
+// SnapshotFor returns, under one lock acquisition, the store
+// generation together with whether any authorization applicable to the
+// given document carries a validity window (see HasTimeBoundedFor).
+// Cache keying must read both atomically: reading them in two calls
+// lets a concurrent policy change slip between, filing a view computed
+// under one generation beneath another's key.
+func (s *Store) SnapshotFor(docURI, dtdURI string) (gen uint64, timeBounded bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	gen = s.gen
+	if !s.timeBounded {
+		return gen, false
+	}
+	for _, a := range s.instance[docURI] {
+		if !a.Validity.IsZero() {
+			return gen, true
+		}
+	}
+	if dtdURI != "" {
+		for _, a := range s.schema[dtdURI] {
+			if !a.Validity.IsZero() {
+				return gen, true
+			}
+		}
+	}
+	return gen, false
+}
+
+// SubjectUniverse returns the subjects of every stored authorization —
+// both levels, all objects, all actions — together with the generation
+// they were read under (one lock acquisition, so universe and
+// generation always agree). This is the input the equivalence-class
+// index partitions requesters against: a requester's class is its
+// applicability set over exactly this universe. Duplicates are not
+// removed here; the class index canonicalizes.
+func (s *Store) SubjectUniverse() ([]subjects.Subject, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, as := range s.instance {
+		n += len(as)
+	}
+	for _, as := range s.schema {
+		n += len(as)
+	}
+	out := make([]subjects.Subject, 0, n)
+	for _, as := range s.instance {
+		for _, a := range as {
+			out = append(out, a.Subject)
+		}
+	}
+	for _, as := range s.schema {
+		for _, a := range as {
+			out = append(out, a.Subject)
+		}
+	}
+	return out, s.gen
 }
 
 // Reset drops every stored authorization (recovery replaces the

@@ -38,6 +38,7 @@ type Engine struct {
 
 	mu       sync.RWMutex
 	policies map[string]Policy // per-document URI
+	polGen   uint64            // bumped by SetPolicy/ClearPolicies
 	stages   StageObserver
 	// authIndex caches per-document authorization node-sets so
 	// steady-state labeling does zero XPath work; nil disables caching
@@ -121,6 +122,7 @@ func (e *Engine) SetPolicy(uri string, p Policy) {
 	e.mu.Lock()
 	idx := e.authIndex
 	e.policies[uri] = p
+	e.polGen++
 	e.mu.Unlock()
 	// Conservatively drop cached node-sets: the sets themselves depend
 	// only on (path, document), but a policy change is rare and flushing
@@ -149,10 +151,23 @@ func (e *Engine) ClearPolicies() {
 	e.mu.Lock()
 	idx := e.authIndex
 	e.policies = make(map[string]Policy)
+	e.polGen++
 	e.mu.Unlock()
 	if idx != nil {
 		idx.InvalidateAll()
 	}
+}
+
+// PolicyGeneration returns a counter that changes whenever the
+// per-document policies change. A policy change (say, flipping a
+// document from denials-take-precedence to permissions-take-precedence)
+// alters views without touching the authorization or document stores,
+// so view caches must key on this generation too; before it existed, a
+// SetPolicy while serving could leave stale views cached indefinitely.
+func (e *Engine) PolicyGeneration() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.polGen
 }
 
 // PolicyFor returns the policy in force for a document URI.

@@ -8,30 +8,57 @@ import (
 	"xmlsec/internal/subjects"
 )
 
-// viewCache memoizes processed views per (requester triple, document).
-// Entries are keyed on both the authorization store's generation and
-// the document store's generation, so any policy or content change
-// invalidates them implicitly; an LRU bound keeps memory flat.
+// viewCache memoizes processed views per document and — by default —
+// per authorization-equivalence *class* rather than per requester
+// triple: a view depends on a requester only through the set of
+// authorizations applicable to it (subjects.ClassIndex), so the cache
+// holds one entry per (class, document) however many distinct
+// requesters are served. Entries are additionally keyed on the
+// authorization-store, document-store, and policy generations, so any
+// policy or content change invalidates them implicitly; an LRU bound
+// keeps memory flat.
 //
 // The cache is sound because view computation is deterministic in
-// (requester, document, authorizations): two requests with the same
-// triple always receive byte-identical views. Authorizations with
+// (applicability set, document, policy): two requests in the same
+// class always receive byte-identical views. Authorizations with
 // validity windows make views time-dependent, so Process bypasses the
-// cache for documents that have any (see cacheable).
+// cache for documents that have any (see SnapshotFor).
+//
+// Misses are single-flighted per key: a thundering herd of equivalent
+// requesters behind one cold entry computes the view exactly once,
+// with the followers waiting on the leader's flight instead of
+// stampeding the engine.
+//
+// legacyTriple switches keying back to the historical normalized
+// ⟨user, ip, host⟩ triple. It exists as the differential oracle for
+// the class index — a triple-keyed and a class-keyed cache must serve
+// byte-identical views — and scales with the requester population, so
+// it is not the serving configuration.
 type viewCache struct {
-	mu    sync.Mutex
-	max   int
-	lru   *list.List // front = most recent; values are *cacheEntry
-	index map[viewKey]*list.Element
+	legacyTriple bool
 
-	hits, misses atomic.Uint64
+	mu      sync.Mutex
+	max     int
+	lru     *list.List // front = most recent; values are *cacheEntry
+	index   map[viewKey]*list.Element
+	flights map[viewKey]*flight
+
+	hits, misses, coalesced atomic.Uint64
 }
 
+// viewKey identifies one cached view. In class mode the requester
+// appears only through its equivalence class; in legacy triple mode
+// through its normalized identity triple (and class is unused — class
+// IDs are monotonic, so the zero value can collide with a real class 0
+// only if both modes shared one cache, which they never do).
 type viewKey struct {
+	class          subjects.ClassID
 	user, ip, host string
 	uri            string
 	authGen        uint64
 	docGen         uint64
+	polGen         uint64
+	dirGen         uint64
 }
 
 type cacheEntry struct {
@@ -39,11 +66,27 @@ type cacheEntry struct {
 	res *ProcessResult
 }
 
+// flight is one in-progress view computation: the leader computes and
+// completes it, followers for the same key block on done. res may be
+// nil after done closes when the leader failed before producing a
+// result (its error is in err) — or, exceptionally, when the leader
+// panicked; followers then compute for themselves.
+type flight struct {
+	done chan struct{}
+	res  *ProcessResult
+	err  error
+}
+
 func newViewCache(max int) *viewCache {
 	if max <= 0 {
 		max = 1024
 	}
-	return &viewCache{max: max, lru: list.New(), index: make(map[viewKey]*list.Element)}
+	return &viewCache{
+		max:     max,
+		lru:     list.New(),
+		index:   make(map[viewKey]*list.Element),
+		flights: make(map[viewKey]*flight),
+	}
 }
 
 func (c *viewCache) get(k viewKey) (*ProcessResult, bool) {
@@ -59,9 +102,54 @@ func (c *viewCache) get(k viewKey) (*ProcessResult, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// beginFlight is the miss path's entry point: a cache hit returns the
+// entry directly; otherwise the caller either becomes the leader of a
+// new flight for k (leader=true: compute the view, then call
+// completeFlight exactly once) or receives an existing flight to wait
+// on (leader=false: block on fl.done, then read fl.res/fl.err).
+func (c *viewCache) beginFlight(k viewKey) (res *ProcessResult, fl *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).res, nil, false
+	}
+	if fl, ok := c.flights[k]; ok {
+		c.coalesced.Add(1)
+		return nil, fl, false
+	}
+	c.misses.Add(1)
+	fl = &flight{done: make(chan struct{})}
+	c.flights[k] = fl
+	return nil, fl, true
+}
+
+// completeFlight publishes the leader's outcome to any followers and,
+// when store is set, installs the result in the cache. Leaders that
+// observed a generation change across their computation pass
+// store=false: the result is still the correct view for the key's
+// generations (the document was snapshotted atomically with them), so
+// followers may use it, but caching it would race the invalidation
+// that the generation bump implies.
+func (c *viewCache) completeFlight(k viewKey, fl *flight, res *ProcessResult, err error, store bool) {
+	c.mu.Lock()
+	if store && err == nil && res != nil {
+		c.putLocked(k, res)
+	}
+	delete(c.flights, k)
+	c.mu.Unlock()
+	fl.res, fl.err = res, err
+	close(fl.done)
+}
+
 func (c *viewCache) put(k viewKey, res *ProcessResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(k, res)
+}
+
+func (c *viewCache) putLocked(k viewKey, res *ProcessResult) {
 	if el, ok := c.index[k]; ok {
 		el.Value.(*cacheEntry).res = res
 		c.lru.MoveToFront(el)
@@ -81,6 +169,37 @@ func (c *viewCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
-func (c *viewCache) key(rq subjects.Requester, uri string, authGen, docGen uint64) viewKey {
-	return viewKey{user: rq.User, ip: rq.IP, host: rq.Host, uri: uri, authGen: authGen, docGen: docGen}
+// Coalesced reports how many misses waited on another request's
+// in-flight computation instead of running their own.
+func (c *viewCache) Coalesced() uint64 { return c.coalesced.Load() }
+
+// Len reports the current number of cached entries. Under class keying
+// this is bounded by classes × documents regardless of how many
+// requesters have been served — the property `xsbench -exp classes`
+// measures.
+func (c *viewCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// classKey builds the class-mode key. dirGen is redundant there —
+// a directory change re-partitions the class index, whose IDs are
+// never reused — but keeping the key shape identical across modes
+// keeps legacy mode correct under membership changes too.
+func classKey(class subjects.ClassID, uri string, authGen, docGen, polGen, dirGen uint64) viewKey {
+	return viewKey{class: class, uri: uri, authGen: authGen, docGen: docGen, polGen: polGen, dirGen: dirGen}
+}
+
+// tripleKey builds the legacy-mode key from the requester's normalized
+// identity. Normalization matters: `""` and `"anonymous"` are the same
+// subject, and resolvers that report `Tweety.Lab.Com` mean the same
+// location as `tweety.lab.com` — un-normalized they would split into
+// duplicate entries.
+func tripleKey(rq subjects.Requester, uri string, authGen, docGen, polGen, dirGen uint64) viewKey {
+	rq = rq.Normalized()
+	return viewKey{
+		user: rq.User, ip: rq.IP, host: rq.Host,
+		uri: uri, authGen: authGen, docGen: docGen, polGen: polGen, dirGen: dirGen,
+	}
 }

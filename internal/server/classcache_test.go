@@ -1,0 +1,416 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/labexample"
+	"xmlsec/internal/subjects"
+	"xmlsec/internal/workload"
+)
+
+// TestViewCacheClassSharingAcrossRequesters pins the tentpole property:
+// requesters with identical applicability sets share ONE cache entry,
+// however different their raw ⟨user, ip, host⟩ triples are.
+func TestViewCacheClassSharingAcrossRequesters(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	// Neither user is in Foreign or Admin, neither IP matches the
+	// Admin subject's, and both hosts end in .it: exactly the same
+	// authorizations apply, so the same class and the same entry.
+	r1 := subjects.Requester{User: "zoe", IP: "1.2.3.4", Host: "a.bld9.it"}
+	r2 := subjects.Requester{User: "yan", IP: "9.9.9.9", Host: "b.corp.it"}
+	first, err := site.Process(r1, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := site.Process(r2, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.XML != second.XML {
+		t.Error("equivalent requesters received different views")
+	}
+	hits, misses := site.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/1 (one shared entry)", hits, misses)
+	}
+	if n := site.CacheEntries(); n != 1 {
+		t.Errorf("cache holds %d entries for two equivalent requesters, want 1", n)
+	}
+	if s := site.ClassStats(); s.Classes != 1 {
+		t.Errorf("class index assigned %d classes, want 1", s.Classes)
+	}
+}
+
+// TestViewCacheInvalidatedByPolicyChange: SetPolicy alters views
+// without touching the authorization or document stores, so the cache
+// must key on the policy generation. Before it did, a policy change
+// while serving left stale views cached indefinitely.
+func TestViewCacheInvalidatedByPolicyChange(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	if err := site.Docs.AddDocument("memo.xml", `<memo><body>secret</body></memo>`); err != nil {
+		t.Fatal(err)
+	}
+	for _, tuple := range []string{
+		`<<Public,*,*>,memo.xml:/memo,read,+,L>`,
+		// Two equally specific authorizations conflict on /memo/body;
+		// the conflict rule decides, so the policy decides the view.
+		`<<Foreign,*,*>,memo.xml:/memo/body,read,+,L>`,
+		`<<Foreign,*,*>,memo.xml:/memo/body,read,-,L>`,
+	} {
+		if err := site.Auths.Add(authz.InstanceLevel, authz.MustParse(tuple)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ { // second call caches
+		res, err := site.Process(labexample.Tom, "memo.xml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(res.XML, "secret") {
+			t.Fatalf("denials-take-precedence should hide the body:\n%s", res.XML)
+		}
+	}
+	if hits, _ := site.CacheStats(); hits != 1 {
+		t.Fatalf("baseline view not cached (hits=%d)", hits)
+	}
+	site.Engine.SetPolicy("memo.xml", core.Policy{Conflict: core.PermissionsTakePrecedence})
+	after, err := site.Process(labexample.Tom, "memo.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after.XML, "secret") {
+		t.Errorf("stale view served after policy change:\n%s", after.XML)
+	}
+}
+
+// TestViewCacheInvalidatedByMembershipChange: adding a user to a group
+// changes which authorizations apply — the directory generation must
+// therefore invalidate cached views just like store generations do.
+func TestViewCacheInvalidatedByMembershipChange(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	if err := site.Docs.AddDocument("team.xml", `<t><a>pub</a><b>secret</b></t>`); err != nil {
+		t.Fatal(err)
+	}
+	for _, tuple := range []string{
+		`<<Public,*,*>,team.xml:/t,read,+,L>`,
+		`<<Public,*,*>,team.xml:/t/a,read,+,L>`,
+		`<<Team,*,*>,team.xml:/t/b,read,+,L>`,
+	} {
+		if err := site.Auths.Add(authz.InstanceLevel, authz.MustParse(tuple)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		res, err := site.Process(labexample.Tom, "team.xml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(res.XML, "secret") {
+			t.Fatalf("non-member sees the Team subtree:\n%s", res.XML)
+		}
+	}
+	if hits, _ := site.CacheStats(); hits != 1 {
+		t.Fatalf("baseline view not cached (hits=%d)", hits)
+	}
+	if err := site.Directory.AddUser("Tom", "Team"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := site.Process(labexample.Tom, "team.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after.XML, "secret") {
+		t.Errorf("stale view served after membership change:\n%s", after.XML)
+	}
+}
+
+// TestTripleKeyedCacheNormalizesIdentity: in legacy triple mode, ""
+// and "anonymous" are the same requester, and host names are
+// case-insensitive; un-normalized keying split these into duplicate
+// entries (and doubled the compute).
+func TestTripleKeyedCacheNormalizesIdentity(t *testing.T) {
+	site := labSite(t).EnableTripleKeyedViewCache(16)
+	variants := []subjects.Requester{
+		{User: "", IP: "9.9.9.9", Host: "x.bld2.it"},
+		{User: "anonymous", IP: "9.9.9.9", Host: "x.bld2.it"},
+		{User: "", IP: "9.9.9.9", Host: "X.Bld2.IT"},
+	}
+	for _, rq := range variants {
+		if _, err := site.Process(rq, labexample.DocURI); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := site.CacheStats()
+	if misses != 1 || hits != 2 {
+		t.Errorf("cache stats = %d hits / %d misses, want 2/1 (one normalized entry)", hits, misses)
+	}
+	if n := site.CacheEntries(); n != 1 {
+		t.Errorf("cache holds %d entries for one normalized identity, want 1", n)
+	}
+}
+
+// genSite builds a Site over the synthetic workload so the three cache
+// configurations below can be compared over identical content.
+func genSite(t *testing.T, cfg workload.AuthConfig) *Site {
+	t.Helper()
+	site := NewSite()
+	site.Directory = workload.GenDirectory(cfg.Pop)
+	site.Engine.Hierarchy.Dir = site.Directory
+	if err := site.Docs.AddDocument(cfg.URI, workload.GenDocument(cfg.Doc).String()); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := workload.GenAuths(cfg)
+	if err := site.Auths.AddAll(authz.InstanceLevel, inst); err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+// TestClassKeyedCacheDifferential is the oracle for class keying: over
+// a randomized policy and population, a class-keyed cache, a
+// triple-keyed cache, and no cache at all must serve byte-identical
+// views to every requester — including across policy mutations and
+// repeat visits that exercise cache hits.
+func TestClassKeyedCacheDifferential(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		cfg := workload.AuthConfig{
+			N:                 24,
+			Doc:               workload.DocConfig{Depth: 3, Fanout: 3, Attrs: 2, Seed: seed},
+			PredicateFraction: 0.4,
+			NegativeFraction:  0.4,
+			Seed:              seed * 31,
+		}.Norm()
+		classSite := genSite(t, cfg).EnableViewCache(64)
+		tripleSite := genSite(t, cfg).EnableTripleKeyedViewCache(64)
+		plainSite := genSite(t, cfg)
+
+		check := func(round string, rq subjects.Requester) {
+			t.Helper()
+			want, wantErr := plainSite.Process(rq, cfg.URI)
+			for name, s := range map[string]*Site{"class": classSite, "triple": tripleSite} {
+				got, err := s.Process(rq, cfg.URI)
+				if !errors.Is(err, wantErr) && (err == nil) != (wantErr == nil) {
+					t.Fatalf("seed %d %s: %s-keyed error %v, uncached %v (rq %s)", seed, round, name, err, wantErr, rq)
+				}
+				if err != nil {
+					continue
+				}
+				if got.XML != want.XML {
+					t.Fatalf("seed %d %s: %s-keyed cache served different bytes to %s", seed, round, name, rq)
+				}
+			}
+		}
+		requesters := make([]subjects.Requester, 0, 14)
+		for i := int64(0); i < 12; i++ {
+			requesters = append(requesters, workload.GenRequester(cfg.Pop, seed*100+i))
+		}
+		// Identity edge cases ride along: anonymous and unresolved hosts.
+		requesters = append(requesters,
+			subjects.Requester{User: "", IP: "10.1.2.3", Host: "h1.dom1.org"},
+			subjects.Requester{User: "u0", IP: "10.1.2.3"},
+		)
+		for _, rq := range requesters {
+			check("cold", rq)
+		}
+		for _, rq := range requesters {
+			check("warm", rq) // served from cache where enabled
+		}
+		// Mutate the policy identically on all three sites; caches must
+		// turn over, not replay.
+		grant := fmt.Sprintf(`<<g0,*,*>,%s://%s,read,-,R>`, cfg.URI, workload.ElemName(2, 1))
+		for _, s := range []*Site{classSite, tripleSite, plainSite} {
+			if err := s.Auths.Add(authz.InstanceLevel, authz.MustParse(grant)); err != nil {
+				t.Fatal(err)
+			}
+			s.Engine.SetPolicy(cfg.URI, core.Policy{Conflict: core.PermissionsTakePrecedence, Open: true})
+		}
+		for _, rq := range requesters {
+			check("mutated", rq)
+		}
+		if hits, _ := classSite.CacheStats(); hits == 0 {
+			t.Errorf("seed %d: class-keyed cache never hit — differential ran without exercising it", seed)
+		}
+	}
+}
+
+// TestViewCacheSingleflightCoalesces: a thundering herd of equivalent
+// requesters behind one cold entry must compute the view exactly once —
+// everyone else either waits on the in-flight computation or hits the
+// fresh entry.
+func TestViewCacheSingleflightCoalesces(t *testing.T) {
+	site := labSite(t).EnableViewCache(16)
+	const n = 16
+	start := make(chan struct{})
+	results := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res, err := site.Process(labexample.Tom, labexample.DocURI)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res.XML
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("request %d received different bytes", i)
+		}
+	}
+	hits, misses := site.CacheStats()
+	coalesced := site.CacheCoalesced()
+	if misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 computation for %d equivalent requests", misses, n)
+	}
+	if hits+coalesced != n-1 {
+		t.Errorf("hits (%d) + coalesced (%d) = %d, want %d", hits, coalesced, hits+coalesced, n-1)
+	}
+}
+
+// TestDocStoreSnapshotConsistentUnderConcurrentPuts is the focused
+// regression test for the check-to-use race behind cache poisoning:
+// reading the document and the store generation in two separate calls
+// (the pre-fix access pattern) lets a concurrent PUT land between
+// them, pairing the OLD tree with the NEW generation. The documents
+// here encode their own version, and each version is committed at
+// exactly one generation, so any torn pair is directly observable —
+// with split reads this assertion fires within a few thousand
+// iterations; DocWithGeneration's single lock acquisition makes it
+// impossible.
+func TestDocStoreSnapshotConsistentUnderConcurrentPuts(t *testing.T) {
+	s := NewDocStore()
+	if err := s.AddDocument("d.xml", `<d>0</d>`); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Generation()
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for i := 1; i <= 2000; i++ {
+			if err := s.AddDocument("d.xml", fmt.Sprintf(`<d>%d</d>`, i)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				sd, gen := s.DocWithGeneration("d.xml")
+				v, err := strconv.Atoi(sd.Source[3:strings.Index(sd.Source, "</d>")])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if uint64(v) != gen-base {
+					errCh <- fmt.Errorf("snapshot paired document version %d with generation %d (want %d): poisoned-key material",
+						v, gen, base+uint64(v))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentUpdateVsProcessNoStaleCache drives the full serve path
+// while the document is concurrently replaced: a view of an old tree
+// filed under a new generation would be served here as a version older
+// than one already durably committed before the read began. The
+// committed counter is advanced by the writer only after AddDocument
+// returns, so `floor` is a lower bound on the store's content for any
+// Process that starts afterwards. (Run under -race this also pins the
+// snapshot primitives' synchronization.)
+func TestConcurrentUpdateVsProcessNoStaleCache(t *testing.T) {
+	const versions = 300
+	site := NewSite().EnableViewCache(16)
+	if err := site.Docs.AddDocument("race.xml", `<d><v>0</v></d>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.Auths.Add(authz.InstanceLevel,
+		authz.MustParse(`<<Public,*,*>,race.xml:/d,read,+,R>`)); err != nil {
+		t.Fatal(err)
+	}
+	rq := subjects.Requester{User: "reader", IP: "10.0.0.1", Host: "r.example.org"}
+	verRe := regexp.MustCompile(`<v>(\d+)</v>`)
+
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= versions; i++ {
+			src := fmt.Sprintf(`<d><v>%d</v></d>`, i)
+			if err := site.Docs.AddDocument("race.xml", src); err != nil {
+				errCh <- err
+				return
+			}
+			committed.Store(int64(i))
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for committed.Load() < versions {
+				floor := committed.Load()
+				res, err := site.Process(rq, "race.xml")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				m := verRe.FindStringSubmatch(res.XML)
+				if m == nil {
+					errCh <- fmt.Errorf("response matches no published version:\n%s", res.XML)
+					return
+				}
+				if v, _ := strconv.Atoi(m[1]); int64(v) < floor {
+					errCh <- fmt.Errorf("served version %d after version %d was committed (stale cache entry)", v, floor)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	final, err := site.Process(rq, "race.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("<v>%d</v>", versions); !strings.Contains(final.XML, want) {
+		t.Errorf("final read does not reflect the final write: got\n%s\nwant it to contain %s", final.XML, want)
+	}
+}

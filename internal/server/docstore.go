@@ -145,6 +145,18 @@ func (s *DocStore) Doc(uri string) *StoredDoc {
 	return s.docs[uri]
 }
 
+// DocWithGeneration returns the stored document for uri together with
+// the store generation, under one lock acquisition. Cache keying must
+// use this rather than Doc+Generation: between two separate calls a
+// concurrent PUT can replace the document, and a view of the OLD tree
+// would then be filed under the NEW generation's key — a poisoned
+// entry that no later store change ever invalidates.
+func (s *DocStore) DocWithGeneration(uri string) (*StoredDoc, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.docs[uri], s.gen
+}
+
 // DTD returns the registered DTD for uri, or nil.
 func (s *DocStore) DTD(uri string) *dtd.DTD {
 	s.mu.RLock()

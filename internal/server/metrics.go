@@ -66,6 +66,30 @@ func (s *Site) initMetrics() {
 				_, misses := s.CacheStats()
 				return float64(misses)
 			})
+		reg.NewCounterFunc("xmlsec_viewcache_coalesced_total",
+			"Requests served by waiting on another request's in-flight view computation.", func() float64 {
+				return float64(s.CacheCoalesced())
+			})
+		reg.NewGaugeFunc("xmlsec_viewcache_entries",
+			"Views currently cached; bounded by classes × documents under class keying.", func() float64 {
+				return float64(s.CacheEntries())
+			})
+		reg.NewGaugeFunc("xmlsec_viewcache_class_classes",
+			"Authorization-equivalence classes assigned under the current subject universe.", func() float64 {
+				return float64(s.ClassStats().Classes)
+			})
+		reg.NewGaugeFunc("xmlsec_viewcache_class_subjects",
+			"Subjects in the universe the class index partitions requesters against.", func() float64 {
+				return float64(s.ClassStats().Subjects)
+			})
+		reg.NewCounterFunc("xmlsec_viewcache_class_resolves_total",
+			"Requester-to-class classifications performed by the class index.", func() float64 {
+				return float64(s.ClassStats().Resolves)
+			})
+		reg.NewCounterFunc("xmlsec_viewcache_class_rebuilds_total",
+			"Class-index universe rebuilds (policy or directory generation changes observed).", func() float64 {
+				return float64(s.ClassStats().Rebuilds)
+			})
 		reg.NewCounterFunc("xmlsec_audit_records_total",
 			"Audit records written since startup.", func() float64 {
 				return float64(s.audit.Records())

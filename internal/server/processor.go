@@ -48,9 +48,14 @@ type Site struct {
 	// request, which preserves semantics (E6 measures both).
 	ParsePerRequest bool
 
-	// cache, when non-nil, memoizes processed views per requester
-	// triple and document; see EnableViewCache.
+	// cache, when non-nil, memoizes processed views per equivalence
+	// class (or, in legacy mode, per requester triple) and document;
+	// see EnableViewCache.
 	cache *viewCache
+
+	// classes partitions requesters into authorization-equivalence
+	// classes for cache keying; installed by EnableViewCache.
+	classes *subjects.ClassIndex
 
 	// audit, when non-nil, receives one record per access decision;
 	// see SetAuditLog.
@@ -201,24 +206,95 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 	if rsp.Traced() {
 		rsp.Lazyf("process %s for user=%s ip=%s host=%s", uri, rq.User, rq.IP, rq.Host)
 	}
+	// Snapshot the document together with the store generation in ONE
+	// lock acquisition, and likewise the authorization generation with
+	// the per-document time-boundedness. Reading them in separate calls
+	// opens a check-to-use race: a concurrent PUT or grant between the
+	// two reads files a view of the OLD state under the NEW generation's
+	// cache key — a poisoned entry that no later change invalidates.
 	sd := s.Docs.Doc(uri)
+	docGen := s.Docs.Generation()
 	if sd == nil {
 		return nil, ErrNotFound
 	}
+	authGen, timeBounded := s.Auths.Generation(), s.Auths.HasTimeBoundedFor(uri, sd.DTDURI)
 	// The cache is bypassed when any authorization applicable to THIS
 	// document is time-bounded (its views then depend on the clock) or
 	// when documents re-parse per request (the operator asked for the
 	// fully on-line cycle). Validity windows on unrelated documents
 	// leave this document's cache effective.
-	useCache := s.cache != nil && !s.Auths.HasTimeBoundedFor(uri, sd.DTDURI) && !s.ParsePerRequest
+	useCache := s.cache != nil && !timeBounded && !s.ParsePerRequest
 	var key viewKey
 	if useCache {
-		key = s.cache.key(rq, uri, s.Auths.Generation(), s.Docs.Generation())
-		if res, ok := s.cache.get(key); ok {
+		polGen := s.Engine.PolicyGeneration()
+		dirGen := s.Directory.Generation()
+		if s.cache.legacyTriple || s.classes == nil {
+			key = tripleKey(rq, uri, authGen, docGen, polGen, dirGen)
+		} else {
+			// Collapse the requester into its authorization-equivalence
+			// class: the view depends on the requester only through the
+			// set of applicable authorizations, so every requester in the
+			// class shares one cache entry however large the population.
+			csp := trace.StartChild(ctx, "class.resolve")
+			class, cerr := s.classes.Resolve(s.Engine.Hierarchy, rq, authGen, dirGen,
+				func() []subjects.Subject {
+					u, _ := s.Auths.SubjectUniverse()
+					return u
+				})
+			if csp.Traced() {
+				csp.Lazyf("class %d", class)
+			}
+			csp.End()
+			if cerr != nil {
+				// A requester that cannot be placed in ASH (malformed IP)
+				// has no class; serve it uncached and let the engine
+				// report the error in full.
+				useCache = false
+			} else {
+				key = classKey(class, uri, authGen, docGen, polGen, dirGen)
+			}
+		}
+	}
+	if useCache {
+		cached, fl, leader := s.cache.beginFlight(key)
+		if cached != nil {
 			if rsp.Traced() {
 				rsp.Lazyf("view cache hit (no cycle run)")
 			}
-			return res, nil
+			return cached, nil
+		}
+		if !leader {
+			// Another request is computing exactly this view; wait for
+			// it instead of stampeding the engine.
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fl.err == nil && fl.res != nil {
+				if rsp.Traced() {
+					rsp.Lazyf("view cache hit (coalesced with in-flight computation)")
+				}
+				return fl.res, nil
+			}
+			// The leader failed (possibly for reasons specific to its own
+			// request, like cancellation); compute for ourselves, uncached.
+			useCache = false
+		} else {
+			defer func() {
+				// Only install the entry if no generation moved while we
+				// computed: the engine reads the live stores, so a change
+				// mid-computation can yield a view that does not match the
+				// snapshotted key. Followers still share the result — it
+				// is served either way — but it must not outlive this
+				// flight under a stale key.
+				store := err == nil && res != nil &&
+					s.Auths.Generation() == key.authGen &&
+					s.Docs.Generation() == key.docGen &&
+					s.Engine.PolicyGeneration() == key.polGen &&
+					s.Directory.Generation() == key.dirGen
+				s.cache.completeFlight(key, fl, res, err, store)
+			}()
 		}
 	}
 	doc := sd.Doc
@@ -277,19 +353,35 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 		sp.Lazyf("%d bytes", b.Len())
 		sp.End()
 	}
-	out := &ProcessResult{View: view, XML: b.String(), DTDURI: sd.DTDURI}
-	if useCache {
-		s.cache.put(key, out)
-	}
-	return out, nil
+	// When this request leads a flight, the deferred completeFlight
+	// publishes the result to any coalesced followers and installs it in
+	// the cache (after re-checking the generations it was keyed under).
+	return &ProcessResult{View: view, XML: b.String(), DTDURI: sd.DTDURI}, nil
 }
 
 // EnableViewCache turns on memoization of processed views, bounded to
-// max entries (≤0 selects a default). Cached entries are keyed on the
-// authorization- and document-store generations, so any policy or
-// content change invalidates them. Returns the site for chaining.
+// max entries (≤0 selects a default). Entries are keyed on the
+// requester's authorization-equivalence class — not its raw identity —
+// plus the authorization-, document-, policy-, and directory
+// generations, so any policy, content, or membership change
+// invalidates them, and the entry count is bounded by classes ×
+// documents regardless of population size. Returns the site for
+// chaining.
 func (s *Site) EnableViewCache(max int) *Site {
 	s.cache = newViewCache(max)
+	s.classes = subjects.NewClassIndex()
+	return s
+}
+
+// EnableTripleKeyedViewCache turns on the view cache in legacy mode:
+// entries keyed per normalized ⟨user, ip, host⟩ triple instead of per
+// equivalence class. One entry per distinct requester makes this mode
+// scale with the population; it is retained as the differential-
+// testing oracle for class keying, not as a serving configuration.
+func (s *Site) EnableTripleKeyedViewCache(max int) *Site {
+	s.cache = newViewCache(max)
+	s.cache.legacyTriple = true
+	s.classes = nil
 	return s
 }
 
@@ -299,6 +391,34 @@ func (s *Site) CacheStats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return s.cache.Stats()
+}
+
+// CacheEntries reports the number of views currently cached (zero when
+// disabled). Under class keying this stays bounded by classes ×
+// documents however many distinct requesters are served.
+func (s *Site) CacheEntries() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Len()
+}
+
+// CacheCoalesced reports how many requests were served by waiting on
+// another request's in-flight view computation (zero when disabled).
+func (s *Site) CacheCoalesced() uint64 {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Coalesced()
+}
+
+// ClassStats reports the equivalence-class index's counters (zeros
+// when the class-keyed cache is not enabled).
+func (s *Site) ClassStats() subjects.ClassIndexStats {
+	if s.classes == nil {
+		return subjects.ClassIndexStats{}
+	}
+	return s.classes.Stats()
 }
 
 // storeLoader adapts the DocStore's DTD registry to the parser.

@@ -1,0 +1,224 @@
+package subjects
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ClassID identifies one authorization-equivalence class: the set of
+// requesters to which exactly the same authorization subjects apply.
+// IDs are never reused across rebuilds of the index, so state keyed on
+// a ClassID from one subject universe can never collide with state
+// keyed under another.
+type ClassID uint64
+
+// ClassIndex partitions the requester universe into
+// authorization-equivalence classes. A view — indeed any decision of
+// the model — depends on a requester only through the set of
+// authorizations applicable to it (the ASH partial order, Definition
+// 1: an authorization for subject s applies to every requester r with
+// subject(r) ≤ s). Two requesters covered by exactly the same subjects
+// therefore receive byte-identical views of every document, whatever
+// their raw ⟨user, ip, host⟩ triples are. With realistic policies the
+// subject universe is dozens of subjects, so millions of distinct
+// requesters collapse into a handful of classes — the paper's partial
+// order turned into a scaling lever.
+//
+// The index is lazy and generational: Resolve classifies against the
+// subject universe of a (policy generation, directory generation)
+// pair, and the first Resolve after either generation changes discards
+// every class assignment and fetches the universe afresh — the same
+// discipline core.AuthIndex applies to node-sets. A grant changes the
+// policy generation, a group-membership change the directory
+// generation; both therefore re-partition.
+//
+// Classification is O(|universe|) comparisons per call. A bounded
+// memo short-circuits repeat requesters — without it every request
+// pays |universe| directory probes, which cache-miss into large user
+// maps and make serve cost creep up with population size — but it is
+// capped and reset when full, so the index's memory footprint is the
+// number of *classes* plus a constant, never the number of requesters
+// seen.
+//
+// A ClassIndex is safe for concurrent use. The zero value is not
+// usable; call NewClassIndex.
+type ClassIndex struct {
+	mu       sync.Mutex
+	built    bool
+	polGen   uint64
+	dirGen   uint64
+	universe []Subject             // deduplicated, deterministically ordered
+	classes  map[string]ClassID    // coverage bitset → class
+	memo     map[Requester]ClassID // normalized requester → class, current epoch only
+	nextID   ClassID               // monotonic across rebuilds
+
+	resolves atomic.Uint64
+	rebuilds atomic.Uint64
+}
+
+// NewClassIndex returns an empty index.
+func NewClassIndex() *ClassIndex {
+	return &ClassIndex{
+		classes: make(map[string]ClassID),
+		memo:    make(map[Requester]ClassID),
+	}
+}
+
+// classMemoMax bounds the requester memo. When full it is reset rather
+// than evicted entry-by-entry: hot requesters re-enter within a few
+// requests, and the bound keeps per-requester state O(1) in the
+// population size.
+const classMemoMax = 1 << 14
+
+// epoch is the index state a classification runs against; taken under
+// the lock, used without it (coverage computation walks the directory,
+// which must not happen under the index mutex).
+type epoch struct {
+	polGen, dirGen uint64
+	universe       []Subject
+}
+
+// Resolve returns the equivalence class of requester r under the
+// subject universe of (polGen, dirGen) — the caller's authorization
+// store and directory generations. When either generation differs from
+// the last observed one, universe() is consulted for the new subject
+// universe and every previous class assignment is discarded (their IDs
+// are never reassigned). The hierarchy h resolves group memberships;
+// callers pass the same hierarchy the labeling engine uses, so
+// classification and applicability can never disagree.
+//
+// The error mirrors Requester.Subject: a requester whose IP is not a
+// concrete address cannot be placed in ASH and therefore has no class.
+func (x *ClassIndex) Resolve(h Hierarchy, r Requester, polGen, dirGen uint64, universe func() []Subject) (ClassID, error) {
+	r = r.Normalized()
+	x.resolves.Add(1)
+	x.mu.Lock()
+	if x.built && x.polGen == polGen && x.dirGen == dirGen {
+		if id, ok := x.memo[r]; ok {
+			x.mu.Unlock()
+			return id, nil
+		}
+	}
+	x.mu.Unlock()
+	rs, err := r.Subject()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		ep := x.epochFor(polGen, dirGen, universe)
+		key := coverageKey(h, ep.universe, rs, r.Host == "")
+		x.mu.Lock()
+		if x.polGen != ep.polGen || x.dirGen != ep.dirGen {
+			// The universe moved while we classified; our bitset indexes
+			// the wrong subjects. Retry against the new epoch.
+			x.mu.Unlock()
+			continue
+		}
+		id, ok := x.classes[key]
+		if !ok {
+			id = x.nextID
+			x.nextID++
+			x.classes[key] = id
+		}
+		if len(x.memo) >= classMemoMax {
+			x.memo = make(map[Requester]ClassID, classMemoMax)
+		}
+		x.memo[r] = id
+		x.mu.Unlock()
+		return id, nil
+	}
+}
+
+// epochFor returns the index state for (polGen, dirGen), rebuilding —
+// and discarding all class assignments — when the generations moved.
+func (x *ClassIndex) epochFor(polGen, dirGen uint64, universe func() []Subject) epoch {
+	x.mu.Lock()
+	if x.built && x.polGen == polGen && x.dirGen == dirGen {
+		ep := epoch{polGen: polGen, dirGen: dirGen, universe: x.universe}
+		x.mu.Unlock()
+		return ep
+	}
+	x.mu.Unlock()
+	// Fetch and canonicalize the new universe outside the lock; the
+	// builder that wins installs it.
+	u := dedupeSubjects(universe())
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if !x.built || x.polGen != polGen || x.dirGen != dirGen {
+		x.built = true
+		x.polGen = polGen
+		x.dirGen = dirGen
+		x.universe = u
+		x.classes = make(map[string]ClassID)
+		x.memo = make(map[Requester]ClassID)
+		x.rebuilds.Add(1)
+	}
+	return epoch{polGen: x.polGen, dirGen: x.dirGen, universe: x.universe}
+}
+
+// coverageKey computes the requester's applicability set over the
+// universe as a bitset: bit i is set iff universe[i] covers the
+// requester. The stringified bitset is the class identity — two
+// requesters are equivalent exactly when every subject treats them the
+// same.
+func coverageKey(h Hierarchy, universe []Subject, rs Subject, hostUnresolved bool) string {
+	bits := make([]byte, (len(universe)+7)/8)
+	for i, s := range universe {
+		if h.appliesTo(s, rs, hostUnresolved) {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(bits)
+}
+
+// dedupeSubjects canonicalizes a subject universe: duplicates (by the
+// subjects' canonical string form, which lowercases symbolic patterns
+// and normalizes IP patterns) collapse, and the result is sorted so
+// coverage bitsets are deterministic for a given subject set whatever
+// order the store yields it in.
+func dedupeSubjects(subs []Subject) []Subject {
+	type keyed struct {
+		key string
+		sub Subject
+	}
+	seen := make(map[string]bool, len(subs))
+	ks := make([]keyed, 0, len(subs))
+	for _, s := range subs {
+		k := s.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		ks = append(ks, keyed{key: k, sub: s})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]Subject, len(ks))
+	for i, k := range ks {
+		out[i] = k.sub
+	}
+	return out
+}
+
+// ClassIndexStats is a point-in-time summary of the index.
+type ClassIndexStats struct {
+	// Classes is the number of distinct equivalence classes assigned
+	// under the current universe; Subjects is the universe size.
+	Classes, Subjects int
+	// Resolves counts classifications; Rebuilds counts universe
+	// replacements (generation changes observed).
+	Resolves, Rebuilds uint64
+}
+
+// Stats returns current counters and sizes.
+func (x *ClassIndex) Stats() ClassIndexStats {
+	s := ClassIndexStats{
+		Resolves: x.resolves.Load(),
+		Rebuilds: x.rebuilds.Load(),
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s.Classes = len(x.classes)
+	s.Subjects = len(x.universe)
+	return s
+}

@@ -1,0 +1,154 @@
+package subjects
+
+import "testing"
+
+// classLab builds a small population against a four-subject universe:
+// two role groups, an IP-restricted subject and a symbolic-domain
+// subject, so coverage differs across all three ASH dimensions.
+func classLab(t *testing.T) (Hierarchy, func() []Subject) {
+	t.Helper()
+	d := NewDirectory()
+	if err := d.AddGroup("Nurse"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddGroup("Doctor"); err != nil {
+		t.Fatal(err)
+	}
+	for user, group := range map[string]string{"tom": "Nurse", "bob": "Nurse", "sam": "Doctor"} {
+		if err := d.AddUser(user, group); err != nil {
+			t.Fatal(err)
+		}
+	}
+	universe := func() []Subject {
+		return []Subject{
+			MustNewSubject("Nurse", "*", "*"),
+			MustNewSubject("Doctor", "*", "*"),
+			MustNewSubject("Public", "130.89.*", "*"),
+			MustNewSubject("Public", "*", "*.lab.com"),
+		}
+	}
+	return Hierarchy{Dir: d}, universe
+}
+
+func resolve(t *testing.T, x *ClassIndex, h Hierarchy, r Requester, polGen, dirGen uint64, u func() []Subject) ClassID {
+	t.Helper()
+	id, err := x.Resolve(h, r, polGen, dirGen, u)
+	if err != nil {
+		t.Fatalf("Resolve(%s): %v", r, err)
+	}
+	return id
+}
+
+func TestClassIndexEquivalence(t *testing.T) {
+	h, u := classLab(t)
+	x := NewClassIndex()
+	tom := Requester{User: "tom", IP: "10.0.0.1", Host: "pc1.lab.com"}
+	bob := Requester{User: "bob", IP: "10.99.0.7", Host: "pc2.lab.com"}
+	sam := Requester{User: "sam", IP: "10.0.0.1", Host: "pc1.lab.com"}
+
+	// tom and bob differ in every raw field, but the same subjects apply
+	// to both (Nurse, and Public restricted to *.lab.com): one class.
+	if a, b := resolve(t, x, h, tom, 1, 1, u), resolve(t, x, h, bob, 1, 1, u); a != b {
+		t.Errorf("equivalent requesters got classes %d and %d", a, b)
+	}
+	// sam shares tom's machine but is a Doctor: different class.
+	if a, b := resolve(t, x, h, tom, 1, 1, u), resolve(t, x, h, sam, 1, 1, u); a == b {
+		t.Errorf("tom and sam share class %d despite different applicable subjects", a)
+	}
+	// The IP-restricted subject separates otherwise-identical requesters.
+	tomAtLab := Requester{User: "tom", IP: "130.89.56.8", Host: "pc1.lab.com"}
+	if a, b := resolve(t, x, h, tom, 1, 1, u), resolve(t, x, h, tomAtLab, 1, 1, u); a == b {
+		t.Errorf("IP-restricted subject did not separate classes (both %d)", a)
+	}
+	if s := x.Stats(); s.Classes != 3 || s.Subjects != 4 {
+		t.Errorf("stats = %d classes over %d subjects, want 3 over 4", s.Classes, s.Subjects)
+	}
+}
+
+func TestClassIndexNormalizesRequesterIdentity(t *testing.T) {
+	h, u := classLab(t)
+	x := NewClassIndex()
+	// "" and "anonymous" are the same subject, and host names compare
+	// case-insensitively; all four spellings must land in one class.
+	variants := []Requester{
+		{User: "", IP: "10.0.0.1", Host: "pc1.lab.com"},
+		{User: "anonymous", IP: "10.0.0.1", Host: "pc1.lab.com"},
+		{User: "", IP: "10.0.0.1", Host: "PC1.Lab.Com"},
+		{User: "anonymous", IP: "10.0.0.1", Host: "pc1.LAB.com"},
+	}
+	want := resolve(t, x, h, variants[0], 1, 1, u)
+	for _, v := range variants[1:] {
+		if got := resolve(t, x, h, v, 1, 1, u); got != want {
+			t.Errorf("%s got class %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestClassIndexUnresolvedHostOnlyMatchesUniversalSN(t *testing.T) {
+	h, u := classLab(t)
+	x := NewClassIndex()
+	resolved := Requester{User: "tom", IP: "10.0.0.1", Host: "pc1.lab.com"}
+	unresolved := Requester{User: "tom", IP: "10.0.0.1"}
+	// The *.lab.com subject applies to the first and not the second, so
+	// reverse-resolution failure must change the class.
+	if a, b := resolve(t, x, h, resolved, 1, 1, u), resolve(t, x, h, unresolved, 1, 1, u); a == b {
+		t.Errorf("unresolved host shares class %d with a lab.com host", a)
+	}
+}
+
+func TestClassIndexRejectsUnplaceableRequester(t *testing.T) {
+	h, u := classLab(t)
+	x := NewClassIndex()
+	if _, err := x.Resolve(h, Requester{User: "tom", IP: "not-an-ip"}, 1, 1, u); err == nil {
+		t.Error("Resolve accepted a requester with a malformed IP")
+	}
+}
+
+func TestClassIndexRebuildsOnGenerationChange(t *testing.T) {
+	h, u := classLab(t)
+	x := NewClassIndex()
+	tom := Requester{User: "tom", IP: "10.0.0.1", Host: "pc1.lab.com"}
+
+	first := resolve(t, x, h, tom, 1, 1, u)
+	// Same generations: stable assignment, no rebuild.
+	if again := resolve(t, x, h, tom, 1, 1, u); again != first {
+		t.Errorf("class changed from %d to %d with no generation change", first, again)
+	}
+	if s := x.Stats(); s.Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d after initial build, want 1", s.Rebuilds)
+	}
+
+	// A policy-generation change re-partitions even if the universe is
+	// identical: IDs are never reused, so state keyed on the old class
+	// can never be served to the new one.
+	afterGrant := resolve(t, x, h, tom, 2, 1, u)
+	if afterGrant == first {
+		t.Errorf("class %d survived a policy-generation change", first)
+	}
+	// A directory-generation change (group membership) re-partitions too.
+	afterMembership := resolve(t, x, h, tom, 2, 2, u)
+	if afterMembership == first || afterMembership == afterGrant {
+		t.Errorf("class %d not fresh after a directory-generation change", afterMembership)
+	}
+	if s := x.Stats(); s.Rebuilds != 3 {
+		t.Errorf("rebuilds = %d, want 3", s.Rebuilds)
+	}
+}
+
+func TestClassIndexDuplicateSubjectsCollapse(t *testing.T) {
+	h, _ := classLab(t)
+	x := NewClassIndex()
+	// The store yields one subject per authorization; the index must
+	// partition against the deduplicated set.
+	u := func() []Subject {
+		return []Subject{
+			MustNewSubject("Nurse", "*", "*"),
+			MustNewSubject("Nurse", "*", "*"),
+			MustNewSubject("Nurse", "*", "*"),
+		}
+	}
+	resolve(t, x, h, Requester{User: "tom", IP: "10.0.0.1"}, 1, 1, u)
+	if s := x.Stats(); s.Subjects != 1 {
+		t.Errorf("universe holds %d subjects, want 1 after dedupe", s.Subjects)
+	}
+}

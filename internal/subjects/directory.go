@@ -3,6 +3,7 @@ package subjects
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Directory is the server-local registry of users and groups. Groups do
@@ -19,6 +20,10 @@ type Directory struct {
 	// PublicGroup is the name of the group every requester belongs to;
 	// empty disables the convention. NewDirectory sets it to "Public".
 	PublicGroup string
+
+	// gen changes whenever the membership graph changes, so caches
+	// derived from memberships (the class index) can invalidate.
+	gen atomic.Uint64
 }
 
 type userEntry struct {
@@ -68,8 +73,16 @@ func (d *Directory) AddGroup(name string, parents ...string) error {
 		delete(d.groups, name)
 		return fmt.Errorf("subjects: adding group %q creates a membership cycle", name)
 	}
+	d.gen.Add(1)
 	return nil
 }
+
+// Generation returns a counter that changes whenever the user/group
+// membership graph changes. Caches of membership-derived state (notably
+// the authorization-equivalence class index) key on it so a directory
+// change invalidates them, exactly as store generations invalidate
+// document views.
+func (d *Directory) Generation() uint64 { return d.gen.Load() }
 
 func (d *Directory) wouldCycle(start string) bool {
 	seen := map[string]int{} // 0 unvisited, 1 in progress, 2 done
@@ -116,6 +129,7 @@ func (d *Directory) AddUser(name string, groups ...string) error {
 		}
 		u.groups[g] = true
 	}
+	d.gen.Add(1)
 	return nil
 }
 

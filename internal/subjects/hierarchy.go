@@ -89,6 +89,22 @@ func (r Requester) Subject() (Subject, error) {
 	return Subject{UG: user, IP: ip, SN: sn}, nil
 }
 
+// Normalized returns the canonical form of the requester identity:
+// an empty user folds to "anonymous" (Subject() treats them as the
+// same minimal ASH element) and the symbolic host name is lowercased
+// (ParseSNPattern lowercases pattern components, so "Tweety.Lab.Com"
+// and "tweety.lab.com" denote the same location). Anything that keys
+// state by requester — caches, equivalence classes — must key on the
+// normalized form, or equivalent requesters split into distinct
+// entries.
+func (r Requester) Normalized() Requester {
+	if r.User == "" {
+		r.User = "anonymous"
+	}
+	r.Host = strings.ToLower(r.Host)
+	return r
+}
+
 func (r Requester) String() string {
 	host := r.Host
 	if host == "" {
@@ -130,11 +146,18 @@ func (h Hierarchy) AppliesTo(s Subject, r Requester) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	return h.appliesTo(s, rs, r.Host == ""), nil
+}
+
+// appliesTo is AppliesTo with the requester already converted to its
+// minimal ASH element; the class index classifies a requester against
+// dozens of subjects and must not re-parse the triple per subject.
+func (h Hierarchy) appliesTo(s, rs Subject, hostUnresolved bool) bool {
 	// An unresolvable host only matches the universal symbolic pattern.
-	if r.Host == "" && !(s.SN.wild && len(s.SN.suffix) == 0) {
-		return false, nil
+	if hostUnresolved && !(s.SN.wild && len(s.SN.suffix) == 0) {
+		return false
 	}
-	return h.Leq(rs, s), nil
+	return h.Leq(rs, s)
 }
 
 // MostSpecific filters the given subjects down to those that are not
