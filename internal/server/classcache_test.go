@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -198,7 +199,8 @@ func TestClassKeyedCacheDifferential(t *testing.T) {
 			want, wantErr := plainSite.Process(rq, cfg.URI)
 			for name, s := range map[string]*Site{"class": classSite, "triple": tripleSite} {
 				got, err := s.Process(rq, cfg.URI)
-				if !errors.Is(err, wantErr) && (err == nil) != (wantErr == nil) {
+				if (err == nil) != (wantErr == nil) ||
+					(err != nil && !errors.Is(err, wantErr) && err.Error() != wantErr.Error()) {
 					t.Fatalf("seed %d %s: %s-keyed error %v, uncached %v (rq %s)", seed, round, name, err, wantErr, rq)
 				}
 				if err != nil {
@@ -348,10 +350,23 @@ func TestDocStoreSnapshotConsistentUnderConcurrentPuts(t *testing.T) {
 // than one already durably committed before the read began. The
 // committed counter is advanced by the writer only after AddDocument
 // returns, so `floor` is a lower bound on the store's content for any
-// Process that starts afterwards. (Run under -race this also pins the
-// snapshot primitives' synchronization.)
+// Process that starts afterwards. The writer holds each generation
+// until a reader has served it: back-to-back PUTs would bump the
+// generation before any poisoned entry could be stored (the leader's
+// revalidation rejects it) or looked up, masking exactly the bug this
+// test exists to catch — with split document/generation reads the
+// stale-serve assertion fires reliably; the atomic snapshot makes it
+// impossible. (Run under -race this also pins the snapshot
+// primitives' synchronization.)
 func TestConcurrentUpdateVsProcessNoStaleCache(t *testing.T) {
-	const versions = 300
+	// Readers spin WITHOUT yielding: pre-fix detection relies on the
+	// scheduler asynchronously preempting a reader between its two
+	// store reads while the writer commits; cooperative yields would
+	// park every reader at its loop boundary and never in the gap.
+	// Each version's handoff costs up to one timeslice per spinning
+	// reader on a single core, so the reader and version counts trade
+	// detection probability against wall-clock directly.
+	const versions, readers = 50, 4
 	site := NewSite().EnableViewCache(16)
 	if err := site.Docs.AddDocument("race.xml", `<d><v>0</v></d>`); err != nil {
 		t.Fatal(err)
@@ -363,40 +378,57 @@ func TestConcurrentUpdateVsProcessNoStaleCache(t *testing.T) {
 	rq := subjects.Requester{User: "reader", IP: "10.0.0.1", Host: "r.example.org"}
 	verRe := regexp.MustCompile(`<v>(\d+)</v>`)
 
-	var committed atomic.Int64
+	var committed, observed atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	errCh := make(chan error, 16)
+	fail := func(err error) {
+		failed.Store(true)
+		errCh <- err
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 1; i <= versions; i++ {
+		for i := 1; i <= versions && !failed.Load(); i++ {
 			src := fmt.Sprintf(`<d><v>%d</v></d>`, i)
 			if err := site.Docs.AddDocument("race.xml", src); err != nil {
-				errCh <- err
+				fail(err)
 				return
 			}
 			committed.Store(int64(i))
+			// No wait after the final commit: readers exit once committed
+			// reaches it, and the final-version assertion below covers it.
+			for i < versions && observed.Load() < int64(i) && !failed.Load() {
+				runtime.Gosched()
+			}
 		}
 	}()
-	for g := 0; g < 8; g++ {
+	for g := 0; g < readers; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for committed.Load() < versions {
+			for committed.Load() < versions && !failed.Load() {
 				floor := committed.Load()
 				res, err := site.Process(rq, "race.xml")
 				if err != nil {
-					errCh <- err
+					fail(err)
 					return
 				}
 				m := verRe.FindStringSubmatch(res.XML)
 				if m == nil {
-					errCh <- fmt.Errorf("response matches no published version:\n%s", res.XML)
+					fail(fmt.Errorf("response matches no published version:\n%s", res.XML))
 					return
 				}
-				if v, _ := strconv.Atoi(m[1]); int64(v) < floor {
-					errCh <- fmt.Errorf("served version %d after version %d was committed (stale cache entry)", v, floor)
+				v, _ := strconv.Atoi(m[1])
+				if int64(v) < floor {
+					fail(fmt.Errorf("served version %d after version %d was committed (stale cache entry)", v, floor))
 					return
+				}
+				for {
+					o := observed.Load()
+					if int64(v) <= o || observed.CompareAndSwap(o, int64(v)) {
+						break
+					}
 				}
 			}
 		}()
@@ -405,6 +437,9 @@ func TestConcurrentUpdateVsProcessNoStaleCache(t *testing.T) {
 	close(errCh)
 	for err := range errCh {
 		t.Error(err)
+	}
+	if failed.Load() {
+		return // the writer aborted early; the final-version check is moot
 	}
 	final, err := site.Process(rq, "race.xml")
 	if err != nil {

@@ -212,12 +212,11 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 	// opens a check-to-use race: a concurrent PUT or grant between the
 	// two reads files a view of the OLD state under the NEW generation's
 	// cache key — a poisoned entry that no later change invalidates.
-	sd := s.Docs.Doc(uri)
-	docGen := s.Docs.Generation()
+	sd, docGen := s.Docs.DocWithGeneration(uri)
 	if sd == nil {
 		return nil, ErrNotFound
 	}
-	authGen, timeBounded := s.Auths.Generation(), s.Auths.HasTimeBoundedFor(uri, sd.DTDURI)
+	authGen, timeBounded := s.Auths.SnapshotFor(uri, sd.DTDURI)
 	// The cache is bypassed when any authorization applicable to THIS
 	// document is time-bounded (its views then depend on the clock) or
 	// when documents re-parse per request (the operator asked for the
@@ -237,10 +236,7 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 			// class shares one cache entry however large the population.
 			csp := trace.StartChild(ctx, "class.resolve")
 			class, cerr := s.classes.Resolve(s.Engine.Hierarchy, rq, authGen, dirGen,
-				func() []subjects.Subject {
-					u, _ := s.Auths.SubjectUniverse()
-					return u
-				})
+				s.Auths.SubjectUniverse)
 			if csp.Traced() {
 				csp.Lazyf("class %d", class)
 			}

@@ -88,9 +88,20 @@ type epoch struct {
 // callers pass the same hierarchy the labeling engine uses, so
 // classification and applicability can never disagree.
 //
+// universe() reports, alongside the subjects, the policy generation
+// they were read under (stores read both under one lock). When a
+// concurrent mutation moves the store past the caller's polGen
+// snapshot, the fetched universe belongs to the NEWER generation; the
+// epoch is then keyed under that actual generation, never under the
+// stale snapshot with post-mutation contents. The requester is still
+// classified — against the consistent newer epoch — and because class
+// IDs are never reused across rebuilds, state the caller keys on
+// (class, stale polGen) cannot collide with entries of any other
+// epoch.
+//
 // The error mirrors Requester.Subject: a requester whose IP is not a
 // concrete address cannot be placed in ASH and therefore has no class.
-func (x *ClassIndex) Resolve(h Hierarchy, r Requester, polGen, dirGen uint64, universe func() []Subject) (ClassID, error) {
+func (x *ClassIndex) Resolve(h Hierarchy, r Requester, polGen, dirGen uint64, universe func() ([]Subject, uint64)) (ClassID, error) {
 	r = r.Normalized()
 	x.resolves.Add(1)
 	x.mu.Lock()
@@ -132,7 +143,11 @@ func (x *ClassIndex) Resolve(h Hierarchy, r Requester, polGen, dirGen uint64, un
 
 // epochFor returns the index state for (polGen, dirGen), rebuilding —
 // and discarding all class assignments — when the generations moved.
-func (x *ClassIndex) epochFor(polGen, dirGen uint64, universe func() []Subject) epoch {
+// The epoch is installed under the generation universe() actually read
+// its subjects at, which may be newer than polGen if the store mutated
+// concurrently: keying by the fetched generation keeps every epoch's
+// universe consistent with its generation label.
+func (x *ClassIndex) epochFor(polGen, dirGen uint64, universe func() ([]Subject, uint64)) epoch {
 	x.mu.Lock()
 	if x.built && x.polGen == polGen && x.dirGen == dirGen {
 		ep := epoch{polGen: polGen, dirGen: dirGen, universe: x.universe}
@@ -141,13 +156,15 @@ func (x *ClassIndex) epochFor(polGen, dirGen uint64, universe func() []Subject) 
 	}
 	x.mu.Unlock()
 	// Fetch and canonicalize the new universe outside the lock; the
-	// builder that wins installs it.
-	u := dedupeSubjects(universe())
+	// builder that wins installs it, keyed by the generation the store
+	// reported for the fetch.
+	subs, gen := universe()
+	u := dedupeSubjects(subs)
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	if !x.built || x.polGen != polGen || x.dirGen != dirGen {
+	if !x.built || x.polGen != gen || x.dirGen != dirGen {
 		x.built = true
-		x.polGen = polGen
+		x.polGen = gen
 		x.dirGen = dirGen
 		x.universe = u
 		x.classes = make(map[string]ClassID)

@@ -30,9 +30,15 @@ func classLab(t *testing.T) (Hierarchy, func() []Subject) {
 	return Hierarchy{Dir: d}, universe
 }
 
+// atGen adapts a plain subject list to Resolve's universe callback,
+// reporting it as read under the given generation.
+func atGen(u func() []Subject, gen uint64) func() ([]Subject, uint64) {
+	return func() ([]Subject, uint64) { return u(), gen }
+}
+
 func resolve(t *testing.T, x *ClassIndex, h Hierarchy, r Requester, polGen, dirGen uint64, u func() []Subject) ClassID {
 	t.Helper()
-	id, err := x.Resolve(h, r, polGen, dirGen, u)
+	id, err := x.Resolve(h, r, polGen, dirGen, atGen(u, polGen))
 	if err != nil {
 		t.Fatalf("Resolve(%s): %v", r, err)
 	}
@@ -99,7 +105,7 @@ func TestClassIndexUnresolvedHostOnlyMatchesUniversalSN(t *testing.T) {
 func TestClassIndexRejectsUnplaceableRequester(t *testing.T) {
 	h, u := classLab(t)
 	x := NewClassIndex()
-	if _, err := x.Resolve(h, Requester{User: "tom", IP: "not-an-ip"}, 1, 1, u); err == nil {
+	if _, err := x.Resolve(h, Requester{User: "tom", IP: "not-an-ip"}, 1, 1, atGen(u, 1)); err == nil {
 		t.Error("Resolve accepted a requester with a malformed IP")
 	}
 }
@@ -132,6 +138,30 @@ func TestClassIndexRebuildsOnGenerationChange(t *testing.T) {
 	}
 	if s := x.Stats(); s.Rebuilds != 3 {
 		t.Errorf("rebuilds = %d, want 3", s.Rebuilds)
+	}
+}
+
+func TestClassIndexRekeysEpochToFetchedGeneration(t *testing.T) {
+	h, u := classLab(t)
+	x := NewClassIndex()
+	tom := Requester{User: "tom", IP: "10.0.0.1", Host: "pc1.lab.com"}
+
+	// A caller snapshots polGen 1, but by the time the universe is
+	// fetched the store has moved to generation 2 — the callback reports
+	// the generation the subjects were actually read under. The epoch
+	// must be keyed under 2, never under the stale snapshot.
+	stale, err := x.Resolve(h, tom, 1, 1, atGen(u, 2))
+	if err != nil {
+		t.Fatalf("Resolve with moved store: %v", err)
+	}
+	// A caller at the current generation finds the epoch already built:
+	// same class assignment, no rebuild.
+	current := resolve(t, x, h, tom, 2, 1, u)
+	if current != stale {
+		t.Errorf("class changed from %d to %d between stale and current caller", stale, current)
+	}
+	if s := x.Stats(); s.Rebuilds != 1 {
+		t.Errorf("rebuilds = %d, want 1 (epoch keyed by fetched generation, not re-built for it)", s.Rebuilds)
 	}
 }
 
