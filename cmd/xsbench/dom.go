@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/core"
+	"xmlsec/internal/dom"
+	"xmlsec/internal/labexample"
+	"xmlsec/internal/workload"
+)
+
+// E16 — the struct-of-arrays arena against the pointer tree it
+// flattens, over the same mask pipeline. Both representations run the
+// identical serve path (label + mask + unparse through the visibility
+// bitmask); the only variable is the document layout the sweeps run
+// over: linked Node structs chased pointer by pointer, or parallel
+// arrays indexed by preorder position with pre-escaped byte spans.
+// Dropping the arena reverts every consumer to the tree code paths, so
+// one document measures both layouts.
+
+// domBenchResult is one measured (case, representation, stage) cell,
+// and the record format of BENCH_dom.json. Stage "serve" is the full
+// cycle (label + mask + unparse); stage "unparse" times serialization
+// alone, where the layout difference is undiluted by the XPath
+// authorization collection both representations share.
+type domBenchResult struct {
+	Case     string  `json:"case"`
+	Nodes    int     `json:"nodes"`
+	Repr     string  `json:"repr"`
+	Stage    string  `json:"stage"`
+	NsPerOp  float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+func expDom() error {
+	type benchCase struct {
+		name string
+		eng  *core.Engine
+		req  core.Request
+		doc  *dom.Document
+	}
+	var cases []benchCase
+
+	labEng := core.NewEngine(labexample.Directory(), labexample.Store())
+	labDoc, _ := labexample.Parse()
+	cases = append(cases, benchCase{
+		name: "labexample",
+		eng:  labEng,
+		req:  core.Request{Requester: labexample.Tom, URI: labexample.DocURI, DTDURI: labexample.DTDURI},
+		doc:  labDoc,
+	})
+
+	sizes := []workload.DocConfig{
+		{Depth: 3, Fanout: 4, Attrs: 2, Seed: 21},
+		{Depth: 4, Fanout: 5, Attrs: 2, Seed: 22},
+		{Depth: 5, Fanout: 5, Attrs: 3, Seed: 23},
+	}
+	if quick {
+		sizes = sizes[:1]
+	}
+	for _, dc := range sizes {
+		cfg := workload.AuthConfig{
+			N: 32, Doc: dc,
+			SchemaFraction:    0.25,
+			PredicateFraction: 0.4,
+			Seed:              dc.Seed * 31,
+		}.Norm()
+		doc := workload.GenDocument(dc)
+		inst, schema := workload.GenAuths(cfg)
+		store := authz.NewStore()
+		if err := store.AddAll(authz.InstanceLevel, inst); err != nil {
+			return err
+		}
+		if err := store.AddAll(authz.SchemaLevel, schema); err != nil {
+			return err
+		}
+		eng := core.NewEngine(workload.GenDirectory(cfg.Pop), store)
+		cases = append(cases, benchCase{
+			name: fmt.Sprintf("gen-d%df%d", dc.Depth, dc.Fanout),
+			eng:  eng,
+			req: core.Request{
+				Requester: workload.GenRequester(cfg.Pop, dc.Seed+7),
+				URI:       cfg.URI,
+				DTDURI:    cfg.DTDURI,
+			},
+			doc: doc,
+		})
+	}
+
+	var results []domBenchResult
+	fmt.Printf("%-14s %-8s %-8s %-9s %-14s %-14s %-12s\n",
+		"case", "nodes", "repr", "stage", "ns/op", "bytes/op", "allocs/op")
+	bench := func(fn func() error) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, c := range cases {
+		if c.doc.ArenaIfBuilt() == nil {
+			c.doc.BuildArena()
+		}
+		// Sanity: both layouts must serve the same bytes before we time
+		// them. The arena serve runs first, then the arena is dropped
+		// and the identical request replays over the tree.
+		av, err := c.eng.ComputeView(c.req, c.doc)
+		if err != nil {
+			return err
+		}
+		arenaXML := av.XMLIndent("  ")
+		hint := c.doc.Arena().SizeHint()
+		c.doc.DropArena()
+		tv, err := c.eng.ComputeView(c.req, c.doc)
+		if err != nil {
+			return err
+		}
+		if arenaXML != tv.XMLIndent("  ") {
+			return fmt.Errorf("%s: representations disagree on output", c.name)
+		}
+		nodes := c.doc.CountNodes()
+
+		serve := func() error {
+			view, err := c.eng.ComputeView(c.req, c.doc)
+			if err != nil {
+				return err
+			}
+			b := dom.GetBuffer(hint)
+			err = view.WriteXML(b, dom.WriteOptions{Indent: "  "})
+			dom.PutBuffer(b)
+			return err
+		}
+		nsTree := map[string]float64{}
+		for _, repr := range []string{"tree", "arena"} {
+			if repr == "arena" {
+				c.doc.BuildArena()
+			} // tree runs first: the arena is already dropped
+			view, err := c.eng.ComputeView(c.req, c.doc)
+			if err != nil {
+				return err
+			}
+			unparse := func() error {
+				b := dom.GetBuffer(hint)
+				err := view.WriteXML(b, dom.WriteOptions{Indent: "  "})
+				dom.PutBuffer(b)
+				return err
+			}
+			for _, st := range []struct {
+				name string
+				fn   func() error
+			}{{"serve", serve}, {"unparse", unparse}} {
+				br := bench(st.fn)
+				r := domBenchResult{
+					Case:     c.name,
+					Nodes:    nodes,
+					Repr:     repr,
+					Stage:    st.name,
+					NsPerOp:  float64(br.NsPerOp()),
+					BytesOp:  br.AllocedBytesPerOp(),
+					AllocsOp: br.AllocsPerOp(),
+				}
+				results = append(results, r)
+				suffix := ""
+				if repr == "tree" {
+					nsTree[st.name] = r.NsPerOp
+				} else if base := nsTree[st.name]; base > 0 {
+					suffix = fmt.Sprintf("  (%.2fx)", base/r.NsPerOp)
+				}
+				fmt.Printf("%-14s %-8d %-8s %-9s %-14.0f %-14d %-12d%s\n",
+					r.Case, r.Nodes, r.Repr, r.Stage, r.NsPerOp, r.BytesOp, r.AllocsOp, suffix)
+			}
+		}
+	}
+	fmt.Println("(serve = label + mask + pooled unparse; unparse = serialization alone; outputs verified byte-identical first)")
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return nil
+}

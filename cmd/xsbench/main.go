@@ -50,7 +50,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace wal classes all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace wal classes dom all")
 	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view/authindex/trace/wal experiments to this file")
 	flag.Parse()
@@ -71,8 +71,9 @@ func main() {
 		"trace":     expTrace,
 		"wal":       expWAL,
 		"classes":   expClasses,
+		"dom":       expDom,
 	}
-	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace", "wal", "classes"}
+	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace", "wal", "classes", "dom"}
 
 	var names []string
 	if *exp == "all" {

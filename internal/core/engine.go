@@ -437,6 +437,7 @@ func (e *Engine) labelCtx(ctx context.Context, req Request, doc *dom.Document) (
 	// effectiveness for its trace (the aggregate counters live on the
 	// index itself); plain ints, so untraced requests pay nothing.
 	sp := trace.SpanFromContext(ctx)
+	ar := doc.ArenaIfBuilt()
 	var idxHits, idxMisses int
 	collect := func(a *authz.Authorization, schema bool) error {
 		if idx != nil {
@@ -448,6 +449,15 @@ func (e *Engine) labelCtx(ctx context.Context, req Request, doc *dom.Document) (
 				idxHits++
 			} else {
 				idxMisses++
+			}
+			if ar != nil {
+				// The cached node-set is already a dense index set and the
+				// arena knows each index's kind: the collection phase never
+				// touches a tree node.
+				for _, i := range set {
+					l.addIdx(int(i), ar.Kind(i) == dom.AttributeNode, a, schema)
+				}
+				return nil
 			}
 			for _, i := range set {
 				l.add(table[i], a, schema)
@@ -480,7 +490,11 @@ func (e *Engine) labelCtx(ctx context.Context, req Request, doc *dom.Document) (
 	if root == nil {
 		return l.out, Stats{}, nil
 	}
-	l.labelRoot(root)
+	if ar != nil {
+		l.labelArena(ar)
+	} else {
+		l.labelRoot(root)
+	}
 	stats := Stats{
 		Nodes:         doc.CountNodes(),
 		AuthsInstance: len(axml),
@@ -542,19 +556,25 @@ type labeler struct {
 	out   *Labeling
 }
 
-// add records that authorization a protects node n. On attribute nodes
-// the recursive types collapse into their local counterparts: an
-// attribute is a leaf of the tree, so R/RW slots "are always null for an
-// attribute" (Section 6.1) and a recursive authorization naming an
-// attribute directly protects exactly that attribute.
+// add records that authorization a protects node n.
 func (l *labeler) add(n *dom.Node, a *authz.Authorization, schema bool) {
-	na := l.byIdx[n.Order]
+	l.addIdx(n.Order, n.Type == dom.AttributeNode, a, schema)
+}
+
+// addIdx records that authorization a protects the node at dense
+// preorder index i. On attribute nodes the recursive types collapse
+// into their local counterparts: an attribute is a leaf of the tree,
+// so R/RW slots "are always null for an attribute" (Section 6.1) and a
+// recursive authorization naming an attribute directly protects
+// exactly that attribute.
+func (l *labeler) addIdx(i int, isAttr bool, a *authz.Authorization, schema bool) {
+	na := l.byIdx[i]
 	if na == nil {
 		na = &nodeAuths{}
-		l.byIdx[n.Order] = na
+		l.byIdx[i] = na
 	}
 	if schema {
-		if a.Type.IsRecursive() && n.Type != dom.AttributeNode {
+		if a.Type.IsRecursive() && !isAttr {
 			na.dtdRec = append(na.dtdRec, a)
 		} else {
 			na.dtdLocal = append(na.dtdLocal, a)
@@ -562,7 +582,7 @@ func (l *labeler) add(n *dom.Node, a *authz.Authorization, schema bool) {
 		return
 	}
 	t := a.Type
-	if n.Type == dom.AttributeNode {
+	if isAttr {
 		switch t {
 		case authz.Recursive:
 			t = authz.Local
@@ -599,8 +619,13 @@ func (l *labeler) signOf(auths []*authz.Authorization) Sign {
 // initialLabel computes the node's own 6-tuple from the authorizations
 // that name it (procedure initial_label of Figure 2).
 func (l *labeler) initialLabel(n *dom.Node) *Label {
-	lab := l.out.at(n)
-	if na := l.byIdx[n.Order]; na != nil {
+	return l.initialLabelIdx(n.Order)
+}
+
+// initialLabelIdx is initialLabel addressed by dense preorder index.
+func (l *labeler) initialLabelIdx(i int) *Label {
+	lab := l.out.atIndex(i)
+	if na := l.byIdx[i]; na != nil {
 		lab.L = l.signOf(na.instance[authz.Local])
 		lab.R = l.signOf(na.instance[authz.Recursive])
 		lab.LW = l.signOf(na.instance[authz.LocalWeak])
@@ -672,11 +697,53 @@ func (l *labeler) labelElement(n *dom.Node, p *Label) {
 // 6.1 and degenerates to the element rule's priorities in every case
 // both define. DESIGN.md records the reconstruction.)
 func (l *labeler) labelAttr(n *dom.Node, p *Label) {
-	lab := l.initialLabel(n)
+	l.labelAttrIdx(n.Order, p)
+}
+
+func (l *labeler) labelAttrIdx(i int, p *Label) {
+	lab := l.initialLabelIdx(i)
 	if lab.L == Epsilon && lab.LW == Epsilon {
 		lab.L = FirstDef(p.L, p.R)
 		lab.LW = FirstDef(p.LW, p.RW)
 	}
 	lab.LD = FirstDef(lab.LD, p.LD, p.RD)
 	lab.Final = FirstDef(lab.L, lab.LD, lab.LW)
+}
+
+// labelArena runs the propagation of labelRoot/labelElement/labelAttr
+// as a sweep over the arena's flat arrays: the same recursion over the
+// same preorder indexes, but each step reads kind/firstChild/
+// nextSibling/attr-range words from parallel []int32 arrays instead of
+// chasing Node pointers, and labels land in the dense Labeling slice by
+// index. Semantics are pinned identical to the tree walk by the arena
+// differential tests and FuzzArenaParity.
+func (l *labeler) labelArena(ar *dom.Arena) {
+	root := ar.DocumentElement()
+	if root < 0 {
+		return
+	}
+	l.labelElementArena(ar, root, nil)
+}
+
+// labelElementArena labels element index i under propagated parent
+// label p (nil for the root element, which takes its own signs only).
+func (l *labeler) labelElementArena(ar *dom.Arena, i int32, p *Label) {
+	lab := l.initialLabelIdx(int(i))
+	if p != nil {
+		if lab.R == Epsilon && lab.RW == Epsilon {
+			lab.R = p.R
+			lab.RW = p.RW
+		}
+		lab.RD = FirstDef(lab.RD, p.RD)
+	}
+	lab.Final = FirstDef(lab.L, lab.R, lab.LD, lab.RD, lab.LW, lab.RW)
+	s, e := ar.Attrs(i)
+	for a := s; a < e; a++ {
+		l.labelAttrIdx(int(a), lab)
+	}
+	for c := ar.FirstChild(i); c >= 0; c = ar.NextSibling(c) {
+		if ar.Kind(c) == dom.ElementNode {
+			l.labelElementArena(ar, c, lab)
+		}
+	}
 }

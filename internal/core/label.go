@@ -92,8 +92,15 @@ func newLabeling(n int) *Labeling {
 
 // at returns the (mutable) label slot for n, marking it present.
 func (lb *Labeling) at(n *dom.Node) *Label {
-	lb.present.Set(n.Order)
-	return &lb.labels[n.Order]
+	return lb.atIndex(n.Order)
+}
+
+// atIndex returns the (mutable) label slot for the node at dense
+// preorder index i, marking it present — the addressing mode of the
+// arena label sweep.
+func (lb *Labeling) atIndex(i int) *Label {
+	lb.present.Set(i)
+	return &lb.labels[i]
 }
 
 // Of returns the label of n, or nil if n was not part of the labeled
@@ -109,6 +116,15 @@ func (lb *Labeling) Of(n *dom.Node) *Label {
 func (lb *Labeling) FinalOf(n *dom.Node) Sign {
 	if l := lb.Of(n); l != nil {
 		return l.Final
+	}
+	return Epsilon
+}
+
+// FinalAt returns the final sign of the node at dense preorder index i
+// (ε for unlabeled or out-of-range indexes).
+func (lb *Labeling) FinalAt(i int) Sign {
+	if i >= 0 && i < len(lb.labels) && lb.present.Get(i) {
+		return lb.labels[i].Final
 	}
 	return Epsilon
 }

@@ -17,9 +17,71 @@ import "xmlsec/internal/dom"
 // visibility. The document node and prolog comments/PIs are always
 // visible (pruning never touched them either).
 //
-// Neither doc nor lb is modified, so any number of Visibility calls may
-// run concurrently over one shared immutable document.
+// When the document carries an arena (parser-built documents always
+// do) the sweep runs over the flat kind/parent/sibling arrays — linear
+// passes over cache-dense words; otherwise it walks the pointer tree,
+// which doubles as the independent implementation the arena
+// differential tests compare against. Neither doc nor lb is modified,
+// so any number of Visibility calls may run concurrently over one
+// shared immutable document.
 func Visibility(doc *dom.Document, lb *Labeling, pol Policy) (mask dom.Bitmask, kept int) {
+	if ar := doc.ArenaIfBuilt(); ar != nil {
+		return visibilityArena(ar, lb, pol)
+	}
+	return visibilityTree(doc, lb, pol)
+}
+
+// visibilityArena is the struct-of-arrays transformation sweep.
+func visibilityArena(ar *dom.Arena, lb *Labeling, pol Policy) (mask dom.Bitmask, kept int) {
+	mask = dom.NewBitmask(ar.Len())
+	mask.Set(0) // the document node
+	for c := ar.FirstChild(0); c >= 0; c = ar.NextSibling(c) {
+		if ar.Kind(c) != dom.ElementNode {
+			mask.Set(int(c)) // prolog comments/PIs
+		}
+	}
+	root := ar.DocumentElement()
+	if root < 0 {
+		return mask, 0
+	}
+	var visit func(i int32) bool
+	visit = func(i int32) bool {
+		selfVisible := pol.visible(lb.FinalAt(int(i)))
+		survives := selfVisible
+		s, e := ar.Attrs(i)
+		for a := s; a < e; a++ {
+			if pol.visible(lb.FinalAt(int(a))) {
+				mask.Set(int(a))
+				kept++
+				survives = true
+			}
+		}
+		for c := ar.FirstChild(i); c >= 0; c = ar.NextSibling(c) {
+			if ar.Kind(c) == dom.ElementNode {
+				if visit(c) {
+					survives = true
+				}
+			} else if selfVisible {
+				// Character data belongs to its containing element and
+				// is withheld from elements kept only as structure.
+				mask.Set(int(c))
+			}
+		}
+		if survives {
+			mask.Set(int(i))
+			kept++
+		}
+		return survives
+	}
+	visit(root)
+	return mask, kept
+}
+
+// visibilityTree is the pointer-walk transformation sweep, retained
+// for documents without an arena (hand-built trees, the clone oracle's
+// per-request copies) and as the independent implementation the arena
+// differential tests compare against.
+func visibilityTree(doc *dom.Document, lb *Labeling, pol Policy) (mask dom.Bitmask, kept int) {
 	mask = dom.NewBitmask(doc.NodeCount())
 	mask.Set(doc.Node.Order)
 	for _, c := range doc.Node.Children {

@@ -34,6 +34,15 @@ type Document struct {
 	// nodeCount is the number of nodes assigned by the last Renumber;
 	// zero means the document has never been renumbered.
 	nodeCount int
+
+	// arena is the struct-of-arrays representation of the document,
+	// built by BuildArena (the parser does this at parse time) and
+	// discarded by Renumber: an arena is only meaningful for the
+	// numbering generation it was built from. Like the numbering
+	// itself, the arena must be built before the document is shared
+	// between goroutines; afterwards any number of readers may use it
+	// concurrently.
+	arena *Arena
 }
 
 // NewDocument returns an empty document with a fresh document node.
@@ -79,8 +88,40 @@ func (d *Document) Renumber() int {
 	}
 	walk(d.Node)
 	d.nodeCount = next
+	d.arena = nil // indexes moved; any arena is stale
 	return next
 }
+
+// BuildArena flattens the document into its struct-of-arrays
+// representation, caches it on the document, and returns it. The
+// parser calls this at parse time so serve-path documents always carry
+// an arena; mutating callers must Renumber (which discards the arena)
+// and rebuild before sharing the document again.
+func (d *Document) BuildArena() *Arena {
+	d.NodeCount() // ensure the preorder numbering exists
+	d.arena = buildArena(d)
+	return d.arena
+}
+
+// Arena returns the document's struct-of-arrays representation,
+// building it on first use. Like Renumber, the build is not safe to
+// race with readers: construct the arena before sharing the document.
+func (d *Document) Arena() *Arena {
+	if d.arena == nil {
+		return d.BuildArena()
+	}
+	return d.arena
+}
+
+// ArenaIfBuilt returns the document's arena, or nil if none has been
+// built for the current numbering. Serve-path sweeps use this to pick
+// the array layout when the parser provided one and fall back to
+// pointer walks (the differential oracle) otherwise.
+func (d *Document) ArenaIfBuilt() *Arena { return d.arena }
+
+// DropArena discards the cached arena, forcing pointer-tree code
+// paths; benchmarks use it to measure the tree baseline.
+func (d *Document) DropArena() { d.arena = nil }
 
 // NodeCount returns the number of nodes in the document as of the last
 // Renumber, renumbering first if the document never was. Together with
@@ -186,7 +227,12 @@ func (d *Document) CloneMasked(mask Bitmask) *Document {
 
 // CountNodes returns the number of element and attribute nodes in the
 // document, the unit in which the paper's labeling algorithm works.
+// When an arena is built the count was taken at build time and no walk
+// happens.
 func (d *Document) CountNodes() int {
+	if d.arena != nil {
+		return d.arena.CountElemAttrs()
+	}
 	n := 0
 	var walk func(*Node)
 	walk = func(m *Node) {

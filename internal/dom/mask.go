@@ -53,3 +53,9 @@ func (m Bitmask) Count() int {
 func (m Bitmask) Visible(n *Node) bool {
 	return m == nil || m.Get(n.Order)
 }
+
+// VisibleIdx is Visible for a dense preorder index (the arena sweeps'
+// addressing mode): a nil mask means everything visible.
+func (m Bitmask) VisibleIdx(i int32) bool {
+	return m == nil || m.Get(int(i))
+}

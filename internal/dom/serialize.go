@@ -1,8 +1,10 @@
 package dom
 
 import (
+	"bytes"
 	"io"
 	"strings"
+	"sync"
 )
 
 // WriteOptions controls XML serialization ("unparsing" in the paper's
@@ -124,6 +126,14 @@ func (d *Document) Write(w io.Writer, opts WriteOptions) error {
 			ew.str("]")
 		}
 		ew.str(">\n")
+	}
+	// The body: through the arena when one is built (pre-escaped spans,
+	// no per-line allocations), through the pointer tree otherwise. The
+	// two emit byte-identical output; FuzzArenaParity and the
+	// differential tests pin the equivalence.
+	if d.arena != nil {
+		d.arena.writeContent(ew, opts)
+		return ew.err
 	}
 	for _, c := range d.Node.Children {
 		if !opts.Mask.Visible(c) {
@@ -318,4 +328,42 @@ func (e *errWriter) str(s string) {
 	if e.err == nil {
 		_, e.err = io.WriteString(e.w, s)
 	}
+}
+
+func (e *errWriter) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+// maxPooledBuffer bounds the capacity of buffers returned to the pool:
+// one pathological response must not pin megabytes for the lifetime of
+// the process.
+const maxPooledBuffer = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// GetBuffer returns a reset output buffer from the serializer pool,
+// grown to sizeHint when the hint exceeds its current capacity. The
+// serve path unparses every response through a pooled buffer: a masked
+// view's size is stable across requests, so after warm-up the buffer
+// is recycled at full size and serialization allocates nothing beyond
+// the response string itself.
+func GetBuffer(sizeHint int) *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	if sizeHint > b.Cap() {
+		b.Grow(sizeHint)
+	}
+	return b
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool. The
+// caller must not retain the buffer (or any slice of its bytes)
+// afterwards.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuffer {
+		return
+	}
+	bufPool.Put(b)
 }

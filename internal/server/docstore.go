@@ -20,8 +20,15 @@ type StoredDoc struct {
 	// DTDURI is the URI of the DTD the document is an instance of;
 	// empty for DTD-less documents.
 	DTDURI string
-	// Doc is the parsed tree (attribute defaults applied).
+	// Doc is the parsed tree (attribute defaults applied) — the
+	// adapter XPath evaluation, validation and the differential
+	// oracles walk.
 	Doc *dom.Document
+	// Arena is the struct-of-arrays representation of Doc, built at
+	// parse time; the serve path's label/mask/unparse sweeps run over
+	// it. Both are immutable for the lifetime of this registration: a
+	// PUT installs a whole new StoredDoc under a new generation.
+	Arena *dom.Arena
 	// DTD is the parsed document type definition, or nil.
 	DTD *dtd.DTD
 }
@@ -116,7 +123,7 @@ func (s *DocStore) prepareDocument(uri, source string) (*StoredDoc, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: document %q: %w", uri, err)
 	}
-	sd := &StoredDoc{URI: uri, Source: source, Doc: res.Doc}
+	sd := &StoredDoc{URI: uri, Source: source, Doc: res.Doc, Arena: res.Arena}
 	if res.Doc.DocType != nil && res.Doc.DocType.SystemID != "" {
 		sd.DTDURI = res.Doc.DocType.SystemID
 	}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -331,17 +330,23 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 	}
 	sp := trace.StartChild(ctx, "unparse")
 	start := time.Now()
-	var b strings.Builder
-	// Unparse through the visibility mask: the shared document is
-	// serialized directly, emitting only mask-visible nodes, with no
-	// per-request tree to build or discard.
-	err = view.WriteXML(&b, dom.WriteOptions{
+	// Unparse through the visibility mask into a pooled, size-hinted
+	// buffer: the shared document's arena is swept directly, emitting
+	// only mask-visible nodes, with no per-request tree to build or
+	// discard and no per-request buffer growth once the pool is warm.
+	hint := 0
+	if ar := doc.ArenaIfBuilt(); ar != nil {
+		hint = ar.SizeHint()
+	}
+	b := dom.GetBuffer(hint)
+	err = view.WriteXML(b, dom.WriteOptions{
 		Indent: "  ",
 		// The view's DOCTYPE keeps the same system identifier; the
 		// site serves the loosened DTD under the original's URI.
 		OmitDocType: sd.DTDURI == "",
 	})
 	if err != nil {
+		dom.PutBuffer(b)
 		return nil, err
 	}
 	s.observeStage("unparse", start)
@@ -349,10 +354,12 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 		sp.Lazyf("%d bytes", b.Len())
 		sp.End()
 	}
+	xml := b.String()
+	dom.PutBuffer(b)
 	// When this request leads a flight, the deferred completeFlight
 	// publishes the result to any coalesced followers and installs it in
 	// the cache (after re-checking the generations it was keyed under).
-	return &ProcessResult{View: view, XML: b.String(), DTDURI: sd.DTDURI}, nil
+	return &ProcessResult{View: view, XML: xml, DTDURI: sd.DTDURI}, nil
 }
 
 // EnableViewCache turns on memoization of processed views, bounded to

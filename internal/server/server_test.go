@@ -10,7 +10,7 @@ import (
 )
 
 // labSite assembles the paper's example site.
-func labSite(t *testing.T) *Site {
+func labSite(t testing.TB) *Site {
 	t.Helper()
 	site := NewSite()
 	site.ValidateViews = true

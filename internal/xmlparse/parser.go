@@ -98,8 +98,16 @@ const defaultMaxEntityExpansion = 1 << 20
 
 // Result carries everything a parse produces.
 type Result struct {
-	// Doc is the document tree, renumbered in document order.
+	// Doc is the document tree, renumbered in document order. It is
+	// the adapter view of the document — XPath evaluation, DTD
+	// validation and the clone-based differential oracles operate on
+	// it — and it carries the arena (Doc.Arena() returns Arena).
 	Doc *dom.Document
+	// Arena is the struct-of-arrays representation of the same
+	// document, built at parse time: the primary artifact the serve
+	// path's label, mask and unparse sweeps run over. Indexes are
+	// interchangeable with Doc's preorder numbering.
+	Arena *dom.Arena
 	// DTD is the parsed document type definition (internal plus
 	// external subset), or nil if the document has no DOCTYPE.
 	DTD *dtd.DTD
@@ -295,7 +303,11 @@ func (p *parser) document() (*Result, error) {
 		applyDefaults(p.dtd, root)
 	}
 	doc.Renumber()
-	return &Result{Doc: doc, DTD: p.dtd}, nil
+	// Flatten into the struct-of-arrays arena while the tree is hot:
+	// names are interned, character data is escaped once into the
+	// shared byte buffer, and every later request sweeps the arrays.
+	arena := doc.BuildArena()
+	return &Result{Doc: doc, Arena: arena, DTD: p.dtd}, nil
 }
 
 // applyDefaults adds DTD-defaulted attributes without validating.
