@@ -24,9 +24,11 @@ import (
 
 // domBenchResult is one measured (case, representation, stage) cell,
 // and the record format of BENCH_dom.json. Stage "serve" is the full
-// cycle (label + mask + unparse); stage "unparse" times serialization
-// alone, where the layout difference is undiluted by the XPath
-// authorization collection both representations share.
+// steady-state cycle (label + mask + unparse, node-set index warm);
+// stage "serve-cold" disables the index so every request re-evaluates
+// every applicable path — the XPath-dominated path where the arena
+// representation now runs the arena-native evaluator instead of the
+// pointer tree; stage "unparse" times serialization alone.
 type domBenchResult struct {
 	Case     string  `json:"case"`
 	Nodes    int     `json:"nodes"`
@@ -156,8 +158,17 @@ func expDom() error {
 			for _, st := range []struct {
 				name string
 				fn   func() error
-			}{{"serve", serve}, {"unparse", unparse}} {
+				cold bool
+			}{{"serve", serve, false}, {"serve-cold", serve, true}, {"unparse", unparse, false}} {
+				var saved *core.AuthIndex
+				if st.cold {
+					saved = c.eng.AuthIndex()
+					c.eng.SetAuthIndex(nil)
+				}
 				br := bench(st.fn)
+				if st.cold {
+					c.eng.SetAuthIndex(saved)
+				}
 				r := domBenchResult{
 					Case:     c.name,
 					Nodes:    nodes,
@@ -179,7 +190,9 @@ func expDom() error {
 			}
 		}
 	}
-	fmt.Println("(serve = label + mask + pooled unparse; unparse = serialization alone; outputs verified byte-identical first)")
+	fmt.Println("(serve = label + mask + pooled unparse with the node-set index warm;")
+	fmt.Println(" serve-cold = same cycle with the index disabled, XPath per request;")
+	fmt.Println(" unparse = serialization alone; outputs verified byte-identical first)")
 
 	if jsonOut != "" {
 		data, err := json.MarshalIndent(results, "", "  ")

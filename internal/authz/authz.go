@@ -239,6 +239,49 @@ func (a *Authorization) SelectNodesCtx(ctx context.Context, doc *dom.Document) (
 	return out, nil
 }
 
+// SelectIndexesCtx is SelectNodesCtx in index space: the protected
+// element/attribute nodes as dense preorder indexes (Node.Order values)
+// in document order. When the document carries an arena and the path is
+// in the arena-evaluable fragment, the evaluation never touches a
+// *dom.Node — this is the collection route Engine labeling and
+// AuthIndex fills use on arena documents. Without an arena it is
+// SelectNodesCtx with the orders read off the selected nodes, so both
+// routes return the identical index set.
+func (a *Authorization) SelectIndexesCtx(ctx context.Context, doc *dom.Document) ([]int32, error) {
+	ar := doc.ArenaIfBuilt()
+	if ar == nil {
+		nodes, err := a.SelectNodesCtx(ctx, doc)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int32, len(nodes))
+		for i, n := range nodes {
+			idx[i] = int32(n.Order)
+		}
+		return idx, nil
+	}
+	if a.path == nil {
+		root := ar.DocumentElement()
+		if root < 0 {
+			return nil, nil
+		}
+		return []int32{root}, nil
+	}
+	idx, _, err := a.path.SelectIndexesCtx(ctx, doc)
+	if err != nil {
+		return nil, err
+	}
+	// Discard non-element/attribute indexes in place: SelectIndexes
+	// returns a fresh slice, never a cached one.
+	out := idx[:0]
+	for _, i := range idx {
+		if k := ar.Kind(i); k == dom.ElementNode || k == dom.AttributeNode {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
 // Parse parses the compact textual 5-tuple form used throughout the
 // paper, e.g.
 //

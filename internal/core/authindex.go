@@ -71,9 +71,10 @@ type docIndex struct {
 
 // nodeSet is one cached evaluation of an authorization's path over one
 // document: the selected element/attribute nodes as dense preorder
-// indexes (a dom.Bitmask-compatible representation), in the order
-// SelectNodes returned them. once singleflights the fill; filled flips
-// after the result is visible, distinguishing hits from misses.
+// indexes (a dom.Bitmask-compatible representation), in document order
+// as SelectIndexesCtx returned them. once singleflights the fill;
+// filled flips after the result is visible, distinguishing hits from
+// misses.
 type nodeSet struct {
 	once   sync.Once
 	filled atomic.Bool
@@ -143,15 +144,19 @@ func (de *docIndex) nodeTable() []*dom.Node {
 }
 
 // lookup returns the cached node indexes for authorization a over doc
-// under store generation gen, together with the document's index→node
-// table, filling the entry (once, even under concurrency) on first
-// use. The hit result reports whether the set was already filled —
-// the per-request trace annotates its label span with the totals. A
-// fill under a traced context records an "authindex.fill" span (the
-// XPath evaluation a warm request avoids), so a sampled trace shows
-// exactly which authorizations this request paid for.
-func (x *AuthIndex) lookup(ctx context.Context, doc *dom.Document, gen uint64, a *authz.Authorization) (set []int32, table []*dom.Node, hit bool, err error) {
-	de := x.entryFor(doc, gen)
+// under store generation gen, filling the entry (once, even under
+// concurrency) on first use. Fills run in index space
+// (SelectIndexesCtx): on arena documents the XPath evaluation and the
+// cached set never materialize a *dom.Node — callers that do need
+// pointers (the tree-labeling route) build the entry's index→node table
+// lazily via docIndex.nodeTable on the returned entry. The hit result
+// reports whether the set was already filled — the per-request trace
+// annotates its label span with the totals. A fill under a traced
+// context records an "authindex.fill" span (the XPath evaluation a warm
+// request avoids), so a sampled trace shows exactly which
+// authorizations this request paid for.
+func (x *AuthIndex) lookup(ctx context.Context, doc *dom.Document, gen uint64, a *authz.Authorization) (set []int32, de *docIndex, hit bool, err error) {
+	de = x.entryFor(doc, gen)
 	de.mu.Lock()
 	ns := de.sets[a]
 	if ns == nil {
@@ -168,14 +173,10 @@ func (x *AuthIndex) lookup(ctx context.Context, doc *dom.Document, gen uint64, a
 	ns.once.Do(func() {
 		fctx, sp := trace.StartSpan(ctx, "authindex.fill")
 		start := time.Now()
-		nodes, err := a.SelectNodesCtx(fctx, doc)
+		idx, err := a.SelectIndexesCtx(fctx, doc)
 		if err != nil {
 			ns.err = err
 		} else {
-			idx := make([]int32, len(nodes))
-			for i, n := range nodes {
-				idx[i] = int32(n.Order)
-			}
 			ns.idx = idx
 		}
 		x.fills.Add(1)
@@ -189,7 +190,7 @@ func (x *AuthIndex) lookup(ctx context.Context, doc *dom.Document, gen uint64, a
 	if ns.err != nil {
 		return nil, nil, hit, ns.err
 	}
-	return ns.idx, de.nodeTable(), hit, nil
+	return ns.idx, de, hit, nil
 }
 
 // Warm pre-fills the index for doc under store generation gen with the

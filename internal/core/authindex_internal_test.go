@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"xmlsec/internal/authz"
+	"xmlsec/internal/xmlparse"
+)
+
+// TestAuthIndexArenaFillSkipsNodeTable pins the index-space contract:
+// filling and consuming node-sets over an arena-carrying document must
+// never build the docIndex's index→node table — that adapter exists
+// only for the pointer-tree labeling route.
+func TestAuthIndexArenaFillSkipsNodeTable(t *testing.T) {
+	res := xmlparse.MustParse(`<a><b k="v">x</b><c><b/></c></a>`, xmlparse.Options{})
+	a, err := authz.Parse(`<<*,*,*>,doc.xml://b,read,+,R>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewAuthIndex()
+	set, de, hit, err := x.lookup(context.Background(), res.Doc, 1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first lookup reported a hit")
+	}
+	if len(set) != 2 {
+		t.Fatalf("//b selected %d nodes, want 2", len(set))
+	}
+	for _, i := range set {
+		if got := res.Arena.Name(i); got != "b" {
+			t.Fatalf("index %d names %q, want b", i, got)
+		}
+	}
+	if de.table != nil {
+		t.Fatal("arena fill built the index→node table")
+	}
+	// The table still materializes on demand for tree-route callers.
+	if tbl := de.nodeTable(); len(tbl) != res.Doc.NodeCount() {
+		t.Fatalf("nodeTable has %d slots, want %d", len(tbl), res.Doc.NodeCount())
+	}
+}

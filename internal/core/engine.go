@@ -441,7 +441,7 @@ func (e *Engine) labelCtx(ctx context.Context, req Request, doc *dom.Document) (
 	var idxHits, idxMisses int
 	collect := func(a *authz.Authorization, schema bool) error {
 		if idx != nil {
-			set, table, hit, err := idx.lookup(ctx, doc, gen, a)
+			set, de, hit, err := idx.lookup(ctx, doc, gen, a)
 			if err != nil {
 				return fmt.Errorf("core: evaluating %s: %w", a, err)
 			}
@@ -453,14 +453,29 @@ func (e *Engine) labelCtx(ctx context.Context, req Request, doc *dom.Document) (
 			if ar != nil {
 				// The cached node-set is already a dense index set and the
 				// arena knows each index's kind: the collection phase never
-				// touches a tree node.
+				// touches a tree node (and the entry's index→node table is
+				// never built).
 				for _, i := range set {
 					l.addIdx(int(i), ar.Kind(i) == dom.AttributeNode, a, schema)
 				}
 				return nil
 			}
+			table := de.nodeTable()
 			for _, i := range set {
 				l.add(table[i], a, schema)
+			}
+			return nil
+		}
+		if ar != nil {
+			// Uncached arena collection stays in index space end to end;
+			// the pointer-tree route below remains the differential oracle
+			// for arena-less documents (clones, the prune oracle).
+			set, err := a.SelectIndexesCtx(ctx, doc)
+			if err != nil {
+				return fmt.Errorf("core: evaluating %s: %w", a, err)
+			}
+			for _, i := range set {
+				l.addIdx(int(i), ar.Kind(i) == dom.AttributeNode, a, schema)
 			}
 			return nil
 		}

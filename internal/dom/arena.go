@@ -225,6 +225,50 @@ func (a *Arena) escData(i int32) []byte {
 // DTD attribute defaulting rather than the source document.
 func (a *Arena) Defaulted(i int32) bool { return a.defaulted.Get(int(i)) }
 
+// LookupSym resolves a name to its interned symbol, reporting whether
+// the arena contains the name at all. A name absent from the symbol
+// table cannot match any node, which lets callers turn a string
+// comparison per node into one map lookup per query plus an integer
+// comparison per node (the arena-native XPath evaluator does exactly
+// this).
+func (a *Arena) LookupSym(name string) (Sym, bool) {
+	s, ok := a.syms.index[name]
+	return s, ok
+}
+
+// SubtreeEnd returns the index one past the last node of i's subtree:
+// the preorder convention (element, then its attributes, then its
+// children's subtrees) makes every subtree a contiguous index range
+// [i, SubtreeEnd(i)), so descendant sweeps are linear array scans.
+// An attribute's subtree is just itself.
+func (a *Arena) SubtreeEnd(i int32) int32 {
+	if a.kind[i] == AttributeNode {
+		return i + 1
+	}
+	for j := i; j >= 0; j = a.parent[j] {
+		if ns := a.nextSibling[j]; ns >= 0 {
+			return ns
+		}
+	}
+	return int32(len(a.kind))
+}
+
+// TextContent returns the XPath string-value of the element or document
+// node at index i: the concatenation of all descendant text and CDATA
+// character data in document order (attribute values are not part of an
+// element's string-value). It is the arena counterpart of Node.Text,
+// computed as one contiguous range scan over the subtree.
+func (a *Arena) TextContent(i int32) string {
+	end := a.SubtreeEnd(i)
+	var buf []byte
+	for j := i; j < end; j++ {
+		if k := a.kind[j]; k == TextNode || k == CDATANode {
+			buf = append(buf, a.RawData(j)...)
+		}
+	}
+	return string(buf)
+}
+
 // DocumentElement returns the index of the document element (the first
 // element child of the document node), or -1 if the arena has none.
 func (a *Arena) DocumentElement() int32 {

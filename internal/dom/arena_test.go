@@ -245,3 +245,70 @@ func TestArenaInvalidation(t *testing.T) {
 		t.Fatalf("rebuilt arena has %d slots, want %d", ar.Len(), doc.NodeCount())
 	}
 }
+
+// TestArenaQueryHelpers covers the accessors the arena-native XPath
+// evaluator leans on: symbol lookup, subtree ranges and string-values.
+func TestArenaQueryHelpers(t *testing.T) {
+	doc := NewDocument()
+	root := NewElement("a")
+	b := NewElement("b")
+	b.SetAttr("k", "v")
+	b.AppendChild(NewText("one"))
+	c := NewElement("c")
+	c.AppendChild(NewCDATA("two"))
+	c.AppendChild(NewComment("not text"))
+	b.AppendChild(c)
+	root.AppendChild(b)
+	root.AppendChild(NewElement("d"))
+	doc.SetDocumentElement(root)
+	doc.Renumber()
+	ar := doc.BuildArena()
+
+	if _, ok := ar.LookupSym("b"); !ok {
+		t.Error("LookupSym(b) missed an interned name")
+	}
+	if s, ok := ar.LookupSym("zzz"); ok {
+		t.Errorf("LookupSym(zzz) = %d, want a miss", s)
+	}
+	// Symbol identity: every node named "b" carries the looked-up sym.
+	bSym, _ := ar.LookupSym("b")
+	bIdx := int32(b.Order)
+	if ar.NameSym(bIdx) != bSym {
+		t.Errorf("NameSym(%d) = %d, LookupSym says %d", bIdx, ar.NameSym(bIdx), bSym)
+	}
+
+	// Subtree ranges: <b> spans itself, its attribute, both children
+	// and the grandchildren — everything up to its next sibling <d>.
+	dIdx := int32(root.Children[1].Order)
+	if got := ar.SubtreeEnd(bIdx); got != dIdx {
+		t.Errorf("SubtreeEnd(b) = %d, want %d (the <d> sibling)", got, dIdx)
+	}
+	// The document subtree is the whole arena; an attribute's is itself.
+	if got := ar.SubtreeEnd(0); got != int32(ar.Len()) {
+		t.Errorf("SubtreeEnd(document) = %d, want %d", got, ar.Len())
+	}
+	attr := bIdx + 1
+	if ar.Kind(attr) != AttributeNode {
+		t.Fatalf("index %d is %v, want the k attribute", attr, ar.Kind(attr))
+	}
+	if got := ar.SubtreeEnd(attr); got != attr+1 {
+		t.Errorf("SubtreeEnd(attr) = %d, want %d", got, attr+1)
+	}
+	// The last node's subtree runs to the end of the arena.
+	last := int32(ar.Len() - 1)
+	if got := ar.SubtreeEnd(last); got != int32(ar.Len()) {
+		t.Errorf("SubtreeEnd(last) = %d, want %d", got, ar.Len())
+	}
+
+	// String-values: text and CDATA concatenate, comments and attribute
+	// values stay out — exactly Node.Text.
+	if got, want := ar.TextContent(bIdx), b.Text(); got != want {
+		t.Errorf("TextContent(b) = %q, tree says %q", got, want)
+	}
+	if got := ar.TextContent(bIdx); got != "onetwo" {
+		t.Errorf("TextContent(b) = %q, want onetwo", got)
+	}
+	if got := ar.TextContent(0); got != "onetwo" {
+		t.Errorf("TextContent(document) = %q, want onetwo", got)
+	}
+}

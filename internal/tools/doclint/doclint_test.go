@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoDocsHaveNoBrokenLinks runs the real check over the real
+// repository, so `go test ./...` catches a broken doc link even before
+// the dedicated CI step does.
+func TestRepoDocsHaveNoBrokenLinks(t *testing.T) {
+	root, err := repoRoot(".")
+	if err != nil {
+		t.Fatalf("repoRoot: %v", err)
+	}
+	brokenLinks, nfiles, err := run(root)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if nfiles == 0 {
+		t.Fatal("no markdown files found — repoRoot or docFiles is broken")
+	}
+	for _, b := range brokenLinks {
+		t.Errorf("%s:%d: broken link %q -> %s", b.file, b.line, b.target, b.resolved)
+	}
+}
+
+// TestCheckFile pins the extraction rules on a synthetic page: relative
+// hits and misses, #fragment stripping, external schemes, in-page
+// anchors, images, and fenced code blocks.
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sub", "deep.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	page := `# t
+[ok](exists.md) [ok2](sub/deep.md) [frag ok](exists.md#sec)
+[anchor](#local) [web](https://example.com/x.md) [mail](mailto:a@b.c)
+![img missing](missing.png)
+[gone](missing.md) [gone frag](also-missing.md#top)
+` + "```\n[in fence](fenced-away.md)\n```\n"
+	path := filepath.Join(dir, "page.md")
+	if err := os.WriteFile(path, []byte(page), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := checkFile(path)
+	if err != nil {
+		t.Fatalf("checkFile: %v", err)
+	}
+	want := []string{"missing.png", "missing.md", "also-missing.md#top"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d broken links %+v, want %d (%v)", len(got), got, len(want), want)
+	}
+	for i, b := range got {
+		if b.target != want[i] {
+			t.Errorf("broken[%d].target = %q, want %q", i, b.target, want[i])
+		}
+		if b.file != path {
+			t.Errorf("broken[%d].file = %q, want %q", i, b.file, path)
+		}
+	}
+	if got[1].line != 5 {
+		t.Errorf("missing.md reported at line %d, want 5", got[1].line)
+	}
+}
+
+// TestExternal pins the scheme/anchor classification.
+func TestExternal(t *testing.T) {
+	for _, tc := range []struct {
+		target string
+		want   bool
+	}{
+		{"https://x/y.md", true},
+		{"http://x", true},
+		{"mailto:a@b", true},
+		{"#anchor", true},
+		{"docs/X.md", false},
+		{"../up.md", false},
+		{"X.md#frag", false},
+	} {
+		if got := external(tc.target); got != tc.want {
+			t.Errorf("external(%q) = %v, want %v", tc.target, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,736 @@
+package xpath
+
+// Arena-native evaluation: the child/descendant(-or-self)/self/attribute
+// fragment of the language evaluated directly over dom.Arena, the
+// struct-of-arrays document layout. The context node is a dense preorder
+// index, axis sweeps follow the arena's int32 firstChild/nextSibling
+// links (descendant axes are contiguous range scans, since a preorder
+// subtree is an index interval), name tests compare interned symbols
+// resolved once per (Path, Arena), attribute lookups are bounded loops
+// over the element's [attrStart, attrEnd) range, and node-sets are
+// sorted []int32 index sets end to end — no *dom.Node is ever touched.
+//
+// Expressions outside the fragment (parent/ancestor/sibling/following/
+// preceding axes, filter expressions like (//a)[1], the id() function)
+// are classified at compile time by arenaCompatible and routed to the
+// pointer-tree evaluator, which also remains the differential oracle
+// for the fragment itself: FuzzArenaXPathParity pins arena and tree
+// node-sets identical as index sets. See docs/XPATH.md.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"xmlsec/internal/dom"
+)
+
+// arenaSymCache resolves a Path's name tests against one arena's symbol
+// table: names the arena never interned map to -1, which no node
+// carries. A Path caches the resolution for the last arena it was
+// evaluated over (one entry suffices: the authorization index already
+// deduplicates evaluations per document, so repeated evaluations of one
+// Path overwhelmingly target one arena at a time).
+type arenaSymCache struct {
+	ar   *dom.Arena
+	syms map[string]dom.Sym
+}
+
+// ArenaCompatible reports whether the whole expression falls in the
+// arena-evaluable fragment. The classification runs once per Path and
+// is cached; it never changes the expression's meaning — incompatible
+// paths simply evaluate over the pointer tree.
+func (p *Path) ArenaCompatible() bool {
+	p.arenaOnce.Do(func() {
+		names := make(map[string]struct{})
+		p.arenaOK = arenaCompatibleExpr(p.expr, names)
+		if p.arenaOK {
+			p.arenaNames = make([]string, 0, len(names))
+			for n := range names {
+				p.arenaNames = append(p.arenaNames, n)
+			}
+		}
+	})
+	return p.arenaOK
+}
+
+// arenaCompatibleExpr classifies one expression node, collecting the
+// node-test names the arena evaluator will need to resolve to symbols.
+func arenaCompatibleExpr(e Expr, names map[string]struct{}) bool {
+	switch x := e.(type) {
+	case *pathExpr:
+		if x.filter != nil {
+			// Paths rooted in a primary expression would need the
+			// primary's node-set first; none of the supported primaries
+			// produce one, so these always fall back.
+			return false
+		}
+		for i := range x.steps {
+			st := &x.steps[i]
+			switch st.Axis {
+			case AxisChild, AxisDescendant, AxisDescendantOrSelf, AxisSelf, AxisAttribute:
+			default:
+				return false // reverse/sibling/following/preceding: tree eval
+			}
+			if st.Test.Kind == TestName || (st.Test.Kind == TestPI && st.Test.Name != "") {
+				names[st.Test.Name] = struct{}{}
+			}
+			for _, pred := range st.Preds {
+				if !arenaCompatibleExpr(pred, names) {
+					return false
+				}
+			}
+		}
+		return true
+	case *binaryExpr:
+		return arenaCompatibleExpr(x.l, names) && arenaCompatibleExpr(x.r, names)
+	case *negExpr:
+		return arenaCompatibleExpr(x.x, names)
+	case *literalExpr, *numberExpr:
+		return true
+	case *filterExpr:
+		// Whole-set positional predicates, e.g. (//a)[1]: supported only
+		// by the tree evaluator.
+		return false
+	case *callExpr:
+		if x.name == "id" {
+			// id() needs the ID-attribute scan the tree evaluator does.
+			return false
+		}
+		for _, a := range x.args {
+			if !arenaCompatibleExpr(a, names) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// symsFor returns the name→symbol resolution of this Path against ar,
+// building and caching it on first use (and whenever the cached entry
+// belongs to a different arena).
+func (p *Path) symsFor(ar *dom.Arena) map[string]dom.Sym {
+	if c := p.arenaSyms.Load(); c != nil && c.ar == ar {
+		return c.syms
+	}
+	m := make(map[string]dom.Sym, len(p.arenaNames))
+	for _, n := range p.arenaNames {
+		if s, ok := ar.LookupSym(n); ok {
+			m[n] = s
+		} else {
+			m[n] = -1
+		}
+	}
+	p.arenaSyms.Store(&arenaSymCache{ar: ar, syms: m})
+	return m
+}
+
+// SelectArena evaluates the expression over the arena with the document
+// node (index 0) as context and returns the selected node-set as dense
+// preorder indexes, sorted ascending — which is document order by the
+// arena's preorder invariant — with no duplicates. It returns an error
+// if the expression is outside the arena fragment (callers should gate
+// on ArenaCompatible) or does not evaluate to a node-set.
+func (p *Path) SelectArena(ar *dom.Arena) ([]int32, error) {
+	if !p.ArenaCompatible() {
+		return nil, fmt.Errorf("xpath: %q is outside the arena-evaluable fragment", p.src)
+	}
+	c := &arenaContext{ar: ar, syms: p.symsFor(ar), node: 0, pos: 1, size: 1}
+	v, err := evalArena(p.expr, c)
+	if err != nil {
+		return nil, err
+	}
+	if v.kind != NodeSetValue {
+		return nil, fmt.Errorf("xpath: %q evaluates to a %s, not a node-set", p.src, kindName(v.kind))
+	}
+	return assertSortedIdx(v.idx), nil
+}
+
+// SelectIndexes evaluates the expression with the document node as
+// context and returns the resulting node-set as dense preorder indexes
+// (Node.Order values) in document order, plus how it was evaluated:
+// over the document's arena (viaArena true) when one is built and the
+// expression is in the arena fragment, over the pointer tree otherwise.
+// Both routes return the identical index set — the routing is a pure
+// representation choice, pinned by FuzzArenaXPathParity.
+func (p *Path) SelectIndexes(doc *dom.Document) (idx []int32, viaArena bool, err error) {
+	if ar := doc.ArenaIfBuilt(); ar != nil && p.ArenaCompatible() {
+		idx, err = p.SelectArena(ar)
+		return idx, true, err
+	}
+	nodes, err := p.SelectDoc(doc)
+	if err != nil {
+		return nil, false, err
+	}
+	idx = make([]int32, len(nodes))
+	for i, n := range nodes {
+		idx[i] = int32(n.Order)
+	}
+	return idx, false, nil
+}
+
+// arenaContext is the arena counterpart of context: the evaluation
+// state with the node addressed by dense preorder index.
+type arenaContext struct {
+	ar   *dom.Arena
+	syms map[string]dom.Sym
+	node int32
+	pos  int
+	size int
+}
+
+// aValue is the arena counterpart of Value: one of the four XPath 1.0
+// types, with node-sets as sorted dense index sets.
+type aValue struct {
+	kind ValueKind
+	idx  []int32
+	b    bool
+	num  float64
+	str  string
+}
+
+func aNodeSet(idx []int32) aValue { return aValue{kind: NodeSetValue, idx: idx} }
+func aBool(b bool) aValue         { return aValue{kind: BoolValue, b: b} }
+func aNumber(f float64) aValue    { return aValue{kind: NumberValue, num: f} }
+func aString(s string) aValue     { return aValue{kind: StringValue, str: s} }
+
+// arenaNodeString is NodeString addressed by index: the XPath
+// string-value of the node at index i.
+func arenaNodeString(ar *dom.Arena, i int32) string {
+	switch ar.Kind(i) {
+	case dom.AttributeNode, dom.TextNode, dom.CDATANode, dom.CommentNode, dom.ProcessingInstructionNode:
+		return string(ar.RawData(i))
+	default:
+		return ar.TextContent(i)
+	}
+}
+
+func (v aValue) toBool() bool {
+	switch v.kind {
+	case NodeSetValue:
+		return len(v.idx) > 0
+	case BoolValue:
+		return v.b
+	case NumberValue:
+		return v.num != 0 && !math.IsNaN(v.num)
+	case StringValue:
+		return v.str != ""
+	}
+	return false
+}
+
+func (v aValue) toString(ar *dom.Arena) string {
+	switch v.kind {
+	case NodeSetValue:
+		if len(v.idx) == 0 {
+			return ""
+		}
+		return arenaNodeString(ar, v.idx[0])
+	case BoolValue:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case NumberValue:
+		return formatNumber(v.num)
+	case StringValue:
+		return v.str
+	}
+	return ""
+}
+
+func (v aValue) toNumber(ar *dom.Arena) float64 {
+	switch v.kind {
+	case NodeSetValue:
+		return stringToNumber(v.toString(ar))
+	case BoolValue:
+		if v.b {
+			return 1
+		}
+		return 0
+	case NumberValue:
+		return v.num
+	case StringValue:
+		return stringToNumber(v.str)
+	}
+	return math.NaN()
+}
+
+// evalArena evaluates an expression of the arena fragment. It mirrors
+// Expr.eval clause for clause; any divergence between the two is a bug
+// the parity fuzzer is designed to catch.
+func evalArena(e Expr, c *arenaContext) (aValue, error) {
+	switch x := e.(type) {
+	case *pathExpr:
+		return evalArenaPath(x, c)
+	case *binaryExpr:
+		return evalArenaBinary(x, c)
+	case *negExpr:
+		v, err := evalArena(x.x, c)
+		if err != nil {
+			return aValue{}, err
+		}
+		return aNumber(-v.toNumber(c.ar)), nil
+	case *literalExpr:
+		return aString(x.s), nil
+	case *numberExpr:
+		return aNumber(x.f), nil
+	case *callExpr:
+		return evalArenaCall(x, c)
+	}
+	// Unreachable behind ArenaCompatible; kept as a defensive error so a
+	// classification bug surfaces as a failure, not silent drift.
+	return aValue{}, fmt.Errorf("xpath: internal: %T outside the arena fragment", e)
+}
+
+func evalArenaPath(p *pathExpr, c *arenaContext) (aValue, error) {
+	var start []int32
+	if p.absolute {
+		start = []int32{0}
+	} else {
+		start = []int32{c.node}
+	}
+	cur := start
+	for i := range p.steps {
+		next, err := applyStepArena(c, &p.steps[i], cur)
+		if err != nil {
+			return aValue{}, err
+		}
+		cur = next
+	}
+	return aNodeSet(cur), nil
+}
+
+// applyStepArena applies one location step to every index of the input
+// set and returns the union of the results, sorted ascending (document
+// order) and deduplicated.
+func applyStepArena(c *arenaContext, st *Step, input []int32) ([]int32, error) {
+	ar := c.ar
+	// Resolve the name test to an interned symbol once per step, not
+	// once per candidate: the per-node test is then a kind check plus an
+	// integer comparison.
+	sym := dom.Sym(-1)
+	if st.Test.Kind == TestName || (st.Test.Kind == TestPI && st.Test.Name != "") {
+		if s, ok := c.syms[st.Test.Name]; ok {
+			sym = s
+		}
+	}
+	var out []int32
+	var cand []int32
+	for _, n := range input {
+		cand = appendAxisArena(cand[:0], ar, n, st, sym)
+		for _, pred := range st.Preds {
+			kept := cand[:0]
+			size := len(cand)
+			for i, m := range cand {
+				pc := arenaContext{ar: ar, syms: c.syms, node: m, pos: i + 1, size: size}
+				v, err := evalArena(pred, &pc)
+				if err != nil {
+					return nil, err
+				}
+				keep := false
+				if v.kind == NumberValue {
+					keep = v.num == float64(pc.pos)
+				} else {
+					keep = v.toBool()
+				}
+				if keep {
+					kept = append(kept, m)
+				}
+			}
+			cand = kept
+		}
+		out = append(out, cand...)
+	}
+	return sortDedupIdx(out), nil
+}
+
+// appendAxisArena appends to buf the indexes on st's axis from n that
+// pass st's node test, in document order. All supported axes are
+// forward, so proximity order and document order coincide. sym is the
+// pre-resolved symbol for name/PI-target tests (-1 when the arena does
+// not intern the name, which matches nothing).
+func appendAxisArena(buf []int32, ar *dom.Arena, n int32, st *Step, sym dom.Sym) []int32 {
+	test := func(i int32) bool {
+		return matchTestArena(ar, i, st, sym)
+	}
+	switch st.Axis {
+	case AxisChild:
+		for ch := ar.FirstChild(n); ch >= 0; ch = ar.NextSibling(ch) {
+			if test(ch) {
+				buf = append(buf, ch)
+			}
+		}
+	case AxisSelf:
+		if test(n) {
+			buf = append(buf, n)
+		}
+	case AxisAttribute:
+		s, e := ar.Attrs(n)
+		for i := s; i < e; i++ {
+			if test(i) {
+				buf = append(buf, i)
+			}
+		}
+	case AxisDescendant, AxisDescendantOrSelf:
+		// A preorder subtree is the contiguous range [n, SubtreeEnd(n)):
+		// the descendant sweep is a linear scan of the kind/name arrays.
+		// Attribute slots inside the range are rejected by every node
+		// test under a non-attribute axis, exactly as attributes are
+		// absent from the tree evaluator's descendant walk.
+		if st.Axis == AxisDescendantOrSelf && test(n) {
+			buf = append(buf, n)
+		}
+		for i, end := n+1, ar.SubtreeEnd(n); i < end; i++ {
+			if test(i) {
+				buf = append(buf, i)
+			}
+		}
+	}
+	return buf
+}
+
+// matchTestArena reports whether index i passes the step's node test.
+// The principal node type of the attribute axis is attribute; of every
+// other supported axis, element (mirrors filterTest).
+func matchTestArena(ar *dom.Arena, i int32, st *Step, sym dom.Sym) bool {
+	k := ar.Kind(i)
+	switch st.Test.Kind {
+	case TestName:
+		if st.Axis == AxisAttribute {
+			return k == dom.AttributeNode && ar.NameSym(i) == sym
+		}
+		return k == dom.ElementNode && ar.NameSym(i) == sym
+	case TestAny:
+		if st.Axis == AxisAttribute {
+			return k == dom.AttributeNode
+		}
+		return k == dom.ElementNode
+	case TestText:
+		return k == dom.TextNode || k == dom.CDATANode
+	case TestComment:
+		return k == dom.CommentNode
+	case TestPI:
+		return k == dom.ProcessingInstructionNode &&
+			(st.Test.Name == "" || ar.NameSym(i) == sym)
+	case TestNode:
+		return k != dom.AttributeNode || st.Axis == AxisAttribute || st.Axis == AxisSelf
+	}
+	return false
+}
+
+func evalArenaBinary(e *binaryExpr, c *arenaContext) (aValue, error) {
+	switch e.op {
+	case "or", "and":
+		lv, err := evalArena(e.l, c)
+		if err != nil {
+			return aValue{}, err
+		}
+		if e.op == "or" {
+			if lv.toBool() {
+				return aBool(true), nil
+			}
+		} else if !lv.toBool() {
+			return aBool(false), nil
+		}
+		rv, err := evalArena(e.r, c)
+		if err != nil {
+			return aValue{}, err
+		}
+		return aBool(rv.toBool()), nil
+	case "|":
+		lv, err := evalArena(e.l, c)
+		if err != nil {
+			return aValue{}, err
+		}
+		rv, err := evalArena(e.r, c)
+		if err != nil {
+			return aValue{}, err
+		}
+		if lv.kind != NodeSetValue || rv.kind != NodeSetValue {
+			return aValue{}, fmt.Errorf("xpath: operands of '|' must be node-sets")
+		}
+		merged := append(append([]int32{}, lv.idx...), rv.idx...)
+		return aNodeSet(sortDedupIdx(merged)), nil
+	}
+	lv, err := evalArena(e.l, c)
+	if err != nil {
+		return aValue{}, err
+	}
+	rv, err := evalArena(e.r, c)
+	if err != nil {
+		return aValue{}, err
+	}
+	switch e.op {
+	case "=", "!=":
+		return aBool(compareEqArena(c.ar, lv, rv, e.op == "!=")), nil
+	case "<", "<=", ">", ">=":
+		return aBool(compareRelArena(c.ar, lv, rv, e.op)), nil
+	case "+":
+		return aNumber(lv.toNumber(c.ar) + rv.toNumber(c.ar)), nil
+	case "-":
+		return aNumber(lv.toNumber(c.ar) - rv.toNumber(c.ar)), nil
+	case "*":
+		return aNumber(lv.toNumber(c.ar) * rv.toNumber(c.ar)), nil
+	case "div":
+		return aNumber(lv.toNumber(c.ar) / rv.toNumber(c.ar)), nil
+	case "mod":
+		return aNumber(math.Mod(lv.toNumber(c.ar), rv.toNumber(c.ar))), nil
+	}
+	return aValue{}, fmt.Errorf("xpath: unknown operator %q", e.op)
+}
+
+// compareEqArena mirrors compareEq with string-values read from spans.
+func compareEqArena(ar *dom.Arena, l, r aValue, neq bool) bool {
+	if l.kind == NodeSetValue && r.kind == NodeSetValue {
+		for _, li := range l.idx {
+			ls := arenaNodeString(ar, li)
+			for _, ri := range r.idx {
+				eq := ls == arenaNodeString(ar, ri)
+				if eq != neq {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if l.kind == NodeSetValue || r.kind == NodeSetValue {
+		ns, other := l, r
+		if r.kind == NodeSetValue {
+			ns, other = r, l
+		}
+		if other.kind == BoolValue {
+			eq := ns.toBool() == other.b
+			return eq != neq
+		}
+		for _, i := range ns.idx {
+			var eq bool
+			if other.kind == NumberValue {
+				eq = stringToNumber(arenaNodeString(ar, i)) == other.num
+			} else {
+				eq = arenaNodeString(ar, i) == other.toString(ar)
+			}
+			if eq != neq {
+				return true
+			}
+		}
+		return false
+	}
+	var eq bool
+	switch {
+	case l.kind == BoolValue || r.kind == BoolValue:
+		eq = l.toBool() == r.toBool()
+	case l.kind == NumberValue || r.kind == NumberValue:
+		eq = l.toNumber(ar) == r.toNumber(ar)
+	default:
+		eq = l.toString(ar) == r.toString(ar)
+	}
+	return eq != neq
+}
+
+// compareRelArena mirrors compareRel with string-values read from spans.
+func compareRelArena(ar *dom.Arena, l, r aValue, op string) bool {
+	num := func(a, b float64) bool {
+		switch op {
+		case "<":
+			return a < b
+		case "<=":
+			return a <= b
+		case ">":
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	if l.kind == NodeSetValue && r.kind == NodeSetValue {
+		for _, li := range l.idx {
+			lf := stringToNumber(arenaNodeString(ar, li))
+			for _, ri := range r.idx {
+				if num(lf, stringToNumber(arenaNodeString(ar, ri))) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if l.kind == NodeSetValue {
+		rv := r.toNumber(ar)
+		for _, i := range l.idx {
+			if num(stringToNumber(arenaNodeString(ar, i)), rv) {
+				return true
+			}
+		}
+		return false
+	}
+	if r.kind == NodeSetValue {
+		lv := l.toNumber(ar)
+		for _, i := range r.idx {
+			if num(lv, stringToNumber(arenaNodeString(ar, i))) {
+				return true
+			}
+		}
+		return false
+	}
+	return num(l.toNumber(ar), r.toNumber(ar))
+}
+
+// evalArenaCall dispatches the core function library over arena values.
+// Every function here mirrors its funcs.go counterpart (the string and
+// number cores are shared); id() is outside the fragment.
+func evalArenaCall(e *callExpr, c *arenaContext) (aValue, error) {
+	args := make([]aValue, len(e.args))
+	for i, a := range e.args {
+		v, err := evalArena(a, c)
+		if err != nil {
+			return aValue{}, err
+		}
+		args[i] = v
+	}
+	ar := c.ar
+	switch e.name {
+	case "last":
+		return aNumber(float64(c.size)), nil
+	case "position":
+		return aNumber(float64(c.pos)), nil
+	case "count":
+		if args[0].kind != NodeSetValue {
+			return aValue{}, fmt.Errorf("xpath: count() requires a node-set")
+		}
+		return aNumber(float64(len(args[0].idx))), nil
+	case "name":
+		i := c.node
+		if len(args) == 1 {
+			if args[0].kind != NodeSetValue {
+				return aValue{}, fmt.Errorf("xpath: name() requires a node-set")
+			}
+			if len(args[0].idx) == 0 {
+				return aString(""), nil
+			}
+			i = args[0].idx[0]
+		}
+		switch ar.Kind(i) {
+		case dom.ElementNode, dom.AttributeNode, dom.ProcessingInstructionNode:
+			return aString(ar.Name(i)), nil
+		}
+		return aString(""), nil
+	case "string":
+		if len(args) == 0 {
+			return aString(arenaNodeString(ar, c.node)), nil
+		}
+		return aString(args[0].toString(ar)), nil
+	case "concat":
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteString(a.toString(ar))
+		}
+		return aString(b.String()), nil
+	case "starts-with":
+		return aBool(strings.HasPrefix(args[0].toString(ar), args[1].toString(ar))), nil
+	case "contains":
+		return aBool(strings.Contains(args[0].toString(ar), args[1].toString(ar))), nil
+	case "substring-before":
+		s, sep := args[0].toString(ar), args[1].toString(ar)
+		if i := strings.Index(s, sep); i >= 0 {
+			return aString(s[:i]), nil
+		}
+		return aString(""), nil
+	case "substring-after":
+		s, sep := args[0].toString(ar), args[1].toString(ar)
+		if i := strings.Index(s, sep); i >= 0 {
+			return aString(s[i+len(sep):]), nil
+		}
+		return aString(""), nil
+	case "substring":
+		var length float64
+		bounded := len(args) == 3
+		if bounded {
+			length = args[2].toNumber(ar)
+		}
+		return aString(substringCore(args[0].toString(ar), args[1].toNumber(ar), length, bounded)), nil
+	case "string-length":
+		s := arenaNodeString(ar, c.node)
+		if len(args) == 1 {
+			s = args[0].toString(ar)
+		}
+		return aNumber(float64(len([]rune(s)))), nil
+	case "normalize-space":
+		s := arenaNodeString(ar, c.node)
+		if len(args) == 1 {
+			s = args[0].toString(ar)
+		}
+		return aString(strings.Join(strings.Fields(s), " ")), nil
+	case "translate":
+		return aString(translateCore(args[0].toString(ar), args[1].toString(ar), args[2].toString(ar))), nil
+	case "boolean":
+		return aBool(args[0].toBool()), nil
+	case "not":
+		return aBool(!args[0].toBool()), nil
+	case "true":
+		return aBool(true), nil
+	case "false":
+		return aBool(false), nil
+	case "number":
+		if len(args) == 0 {
+			return aNumber(stringToNumber(arenaNodeString(ar, c.node))), nil
+		}
+		return aNumber(args[0].toNumber(ar)), nil
+	case "sum":
+		if args[0].kind != NodeSetValue {
+			return aValue{}, fmt.Errorf("xpath: sum() requires a node-set")
+		}
+		total := 0.0
+		for _, i := range args[0].idx {
+			total += stringToNumber(arenaNodeString(ar, i))
+		}
+		return aNumber(total), nil
+	case "floor":
+		return aNumber(math.Floor(args[0].toNumber(ar))), nil
+	case "ceiling":
+		return aNumber(math.Ceil(args[0].toNumber(ar))), nil
+	case "round":
+		return aNumber(xpathRound(args[0].toNumber(ar))), nil
+	}
+	return aValue{}, fmt.Errorf("xpath: internal: function %q outside the arena fragment", e.name)
+}
+
+// sortDedupIdx sorts an index set ascending and removes duplicates, in
+// place. Ascending dense preorder indexes are document order, so this
+// is the arena counterpart of sortDocOrder. The common case — inputs
+// already strictly increasing, as every single-context axis sweep
+// produces — is detected in one pass and returns without sorting.
+func sortDedupIdx(idx []int32) []int32 {
+	strictly := true
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			strictly = false
+			break
+		}
+	}
+	if strictly {
+		return idx
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	out := idx[:1]
+	for _, v := range idx[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// assertSortedIdx guarantees the document-order contract of the
+// returned node-set: every arena construction above yields sorted sets,
+// so the scan is O(n) and the sort never runs; it exists so a future
+// construction that forgets to sort cannot silently break the contract
+// Select and SelectIndexes document.
+func assertSortedIdx(idx []int32) []int32 {
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			return sortDedupIdx(idx)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,261 @@
+package xpath
+
+import (
+	"reflect"
+	"testing"
+
+	"xmlsec/internal/dom"
+	"xmlsec/internal/xmlparse"
+)
+
+// arenaTestDoc is a small document exercising every node kind the
+// arena fragment can test for: nested elements, attributes, text,
+// CDATA, comments and processing instructions.
+const arenaTestDoc = `<?xml version="1.0"?><lab name="crypto"><project type="internal" id="p1"><name>alpha</name><fund amount="100">seed</fund></project><project type="public" id="p2"><name>beta</name><!-- note --><?track on?><data><![CDATA[x<y]]></data></project><misc/></lab>`
+
+func parityDoc(t *testing.T, src string) *dom.Document {
+	t.Helper()
+	res, err := xmlparse.Parse(src, xmlparse.Options{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if res.Doc.ArenaIfBuilt() == nil {
+		t.Fatal("parser built no arena")
+	}
+	return res.Doc
+}
+
+func treeOrders(t *testing.T, p *Path, doc *dom.Document) []int32 {
+	t.Helper()
+	nodes, err := p.SelectDoc(doc)
+	if err != nil {
+		t.Fatalf("tree eval %q: %v", p.Source(), err)
+	}
+	idx := make([]int32, len(nodes))
+	for i, n := range nodes {
+		idx[i] = int32(n.Order)
+	}
+	return idx
+}
+
+// TestArenaCompatible pins the fragment boundary: which expressions the
+// classifier admits to arena evaluation, and which must fall back.
+func TestArenaCompatible(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`/lab/project`, true},
+		{`//project[@type='internal']`, true},
+		{`//project/@id`, true},
+		{`.`, true},
+		{`//fund[@amount > 50]/text()`, true},
+		{`//project[name='alpha' and position() < last()]`, true},
+		{`//data | //misc | /lab/@name`, true},
+		{`//processing-instruction('track')`, true},
+		{`count(//project) + 1`, true},
+		{`//project[contains(normalize-space(name), 'bet')]`, true},
+
+		// Out of fragment: reverse and sibling axes.
+		{`//name/..`, false},
+		{`//fund/ancestor::project`, false},
+		{`//name/parent::project`, false},
+		{`//project/following-sibling::misc`, false},
+		{`//misc/preceding-sibling::*`, false},
+		{`//name/following::data`, false},
+		// Out of fragment: filter expressions and id().
+		{`(//project)[1]`, false},
+		{`id('p1')`, false},
+		{`//project[id('p2')]`, false},
+		// A single offending predicate poisons the whole path.
+		{`//project[../misc]`, false},
+	}
+	for _, tc := range cases {
+		p := MustCompile(tc.expr)
+		if got := p.ArenaCompatible(); got != tc.want {
+			t.Errorf("ArenaCompatible(%q) = %v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}
+
+// TestSelectIndexesParity: for fragment expressions the arena route must
+// run (viaArena true) and return exactly the tree evaluator's index set.
+func TestSelectIndexesParity(t *testing.T) {
+	doc := parityDoc(t, arenaTestDoc)
+	exprs := []string{
+		`/`,
+		`/lab`,
+		`/lab/project`,
+		`/lab/project/name`,
+		`//name`,
+		`//project[@type='internal']`,
+		`//project[@type='internal']//text()`,
+		`//project/@id`,
+		`//@*`,
+		`//*`,
+		`//node()`,
+		`//comment()`,
+		`//processing-instruction()`,
+		`//processing-instruction('track')`,
+		`//project[2]`,
+		`//project[last()]`,
+		`//project[position() > 1]/name`,
+		`//fund[@amount > 50]`,
+		`//fund[. = 'seed']`,
+		`//project[name]`,
+		`//project[not(@type='public')]`,
+		`//project[count(name) = 1]`,
+		`//project[starts-with(@id, 'p')]`,
+		`//data | //misc`,
+		`/lab/@name | //fund/@amount`,
+		`//project[string-length(name) = 5]`,
+		`//*[text()]`,
+		`descendant::name`,
+		`self::node()`,
+	}
+	for _, src := range exprs {
+		p := MustCompile(src)
+		got, viaArena, err := p.SelectIndexes(doc)
+		if err != nil {
+			t.Errorf("SelectIndexes(%q): %v", src, err)
+			continue
+		}
+		if !viaArena {
+			t.Errorf("SelectIndexes(%q) took the tree route; want arena", src)
+		}
+		want := treeOrders(t, p, doc)
+		if !sameIndexSet(got, want) {
+			t.Errorf("SelectIndexes(%q) = %v, tree says %v", src, got, want)
+		}
+	}
+}
+
+// TestSelectIndexesFallback: out-of-fragment expressions must route to
+// tree evaluation (no silent semantic drift — they still return the
+// right answer, just via the oracle).
+func TestSelectIndexesFallback(t *testing.T) {
+	doc := parityDoc(t, arenaTestDoc)
+	exprs := []string{
+		`//name/..`,
+		`//fund/ancestor::lab`,
+		`//project/following-sibling::misc`,
+		`(//project)[2]`,
+		`id('p1')`,
+	}
+	for _, src := range exprs {
+		p := MustCompile(src)
+		got, viaArena, err := p.SelectIndexes(doc)
+		if err != nil {
+			t.Errorf("SelectIndexes(%q): %v", src, err)
+			continue
+		}
+		if viaArena {
+			t.Errorf("SelectIndexes(%q) claims the arena route; the expression is outside the fragment", src)
+		}
+		want := treeOrders(t, p, doc)
+		if !sameIndexSet(got, want) {
+			t.Errorf("SelectIndexes(%q) = %v, tree says %v", src, got, want)
+		}
+	}
+}
+
+// TestSelectIndexesWithoutArena: a document that carries no arena (e.g.
+// a clone) must take the tree route even for fragment expressions.
+func TestSelectIndexesWithoutArena(t *testing.T) {
+	doc := parityDoc(t, arenaTestDoc)
+	doc.DropArena()
+	p := MustCompile(`//project`)
+	got, viaArena, err := p.SelectIndexes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaArena {
+		t.Fatal("SelectIndexes claims the arena route on an arena-less document")
+	}
+	if want := treeOrders(t, p, doc); !sameIndexSet(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestSelectIndexesDocumentOrder is the regression test for the
+// document-order contract: unions evaluated right-to-left and
+// predicates that filter interleaved subtrees must still come back as
+// ascending preorder indexes with no duplicates.
+func TestSelectIndexesDocumentOrder(t *testing.T) {
+	doc := parityDoc(t, arenaTestDoc)
+	exprs := []string{
+		// Union operands in reverse document order.
+		`//misc | //project | /lab`,
+		`//fund/@amount | /lab/@name | //project/@type`,
+		// Overlapping operands: dedup must hold.
+		`//project | //project[@type='internal'] | //*`,
+		// Descendant-or-self over nested contexts revisits subtrees.
+		`//project//node() | //node()`,
+		`//*[name or @type]`,
+	}
+	for _, src := range exprs {
+		p := MustCompile(src)
+		got, _, err := p.SelectIndexes(doc)
+		if err != nil {
+			t.Errorf("SelectIndexes(%q): %v", src, err)
+			continue
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Errorf("SelectIndexes(%q) not in strict document order at %d: %v", src, i, got)
+				break
+			}
+		}
+		if want := treeOrders(t, p, doc); !sameIndexSet(got, want) {
+			t.Errorf("SelectIndexes(%q) = %v, tree says %v", src, got, want)
+		}
+	}
+}
+
+// TestSelectArenaRejectsNonNodeSet mirrors Select's type error.
+func TestSelectArenaRejectsNonNodeSet(t *testing.T) {
+	doc := parityDoc(t, arenaTestDoc)
+	for _, src := range []string{`count(//project)`, `'lit'`, `1+1`, `true()`} {
+		p := MustCompile(src)
+		if _, _, err := p.SelectIndexes(doc); err == nil {
+			t.Errorf("SelectIndexes(%q) accepted a non-node-set result", src)
+		}
+	}
+}
+
+// TestArenaSymCacheAcrossArenas: one compiled Path evaluated over two
+// different documents must re-resolve its name symbols per arena.
+func TestArenaSymCacheAcrossArenas(t *testing.T) {
+	p := MustCompile(`//b`)
+	d1 := parityDoc(t, `<a><b/><c><b/></c></a>`)
+	d2 := parityDoc(t, `<x><y/><b/><b><b/></b></x>`)
+	for _, doc := range []*dom.Document{d1, d2, d1} {
+		got, viaArena, err := p.SelectIndexes(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !viaArena {
+			t.Fatal("expected arena route")
+		}
+		if want := treeOrders(t, p, doc); !sameIndexSet(got, want) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// A name the second arena never interned must select nothing rather
+	// than aliasing symbol 0.
+	q := MustCompile(`//zzz`)
+	got, _, err := q.SelectIndexes(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("//zzz selected %v from a document without zzz elements", got)
+	}
+}
+
+func sameIndexSet(a, b []int32) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -26,8 +26,8 @@ func (p *Path) Eval(ctx *dom.Node) (Value, error) {
 }
 
 // Select evaluates the expression and returns the resulting node-set in
-// document order. It returns an error if the expression does not
-// evaluate to a node-set.
+// document order (ascending Node.Order), with no duplicates. It returns
+// an error if the expression does not evaluate to a node-set.
 func (p *Path) Select(ctx *dom.Node) ([]*dom.Node, error) {
 	v, err := p.Eval(ctx)
 	if err != nil {
@@ -39,7 +39,10 @@ func (p *Path) Select(ctx *dom.Node) ([]*dom.Node, error) {
 	return v.Nodes, nil
 }
 
-// SelectDoc is Select with the document node of doc as context.
+// SelectDoc is Select with the document node of doc as context: the
+// result is in document order with no duplicates. SelectDoc always
+// evaluates over the pointer tree — it is the differential oracle the
+// arena route (SelectIndexes) is checked against.
 func (p *Path) SelectDoc(doc *dom.Document) ([]*dom.Node, error) {
 	return p.Select(doc.Node)
 }

@@ -176,20 +176,30 @@ func fnSubstringAfter(_ *context, args []Value) (Value, error) {
 // fnSubstring implements XPath's 1-based, rounding substring semantics
 // over characters (runes), including the notorious NaN/Infinity cases.
 func fnSubstring(_ *context, args []Value) (Value, error) {
-	runes := []rune(args[0].ToString())
-	start := xpathRound(args[1].ToNumber())
+	var length float64
+	bounded := len(args) == 3
+	if bounded {
+		length = args[2].ToNumber()
+	}
+	return String(substringCore(args[0].ToString(), args[1].ToNumber(), length, bounded)), nil
+}
+
+// substringCore is the value-independent body of substring(), shared
+// with the arena evaluator.
+func substringCore(s string, startArg, lengthArg float64, bounded bool) string {
+	start := xpathRound(startArg)
 	end := math.Inf(1)
-	if len(args) == 3 {
-		end = start + xpathRound(args[2].ToNumber())
+	if bounded {
+		end = start + xpathRound(lengthArg)
 	}
 	var b strings.Builder
-	for i, r := range runes {
+	for i, r := range []rune(s) {
 		pos := float64(i + 1)
 		if pos >= start && pos < end {
 			b.WriteRune(r)
 		}
 	}
-	return String(b.String()), nil
+	return b.String()
 }
 
 func fnStringLength(c *context, args []Value) (Value, error) {
@@ -209,9 +219,14 @@ func fnNormalizeSpace(c *context, args []Value) (Value, error) {
 }
 
 func fnTranslate(_ *context, args []Value) (Value, error) {
-	s := args[0].ToString()
-	from := []rune(args[1].ToString())
-	to := []rune(args[2].ToString())
+	return String(translateCore(args[0].ToString(), args[1].ToString(), args[2].ToString())), nil
+}
+
+// translateCore is the value-independent body of translate(), shared
+// with the arena evaluator.
+func translateCore(s, fromArg, toArg string) string {
+	from := []rune(fromArg)
+	to := []rune(toArg)
 	m := make(map[rune]rune, len(from))
 	del := make(map[rune]bool)
 	for i, r := range from {
@@ -235,7 +250,7 @@ func fnTranslate(_ *context, args []Value) (Value, error) {
 			b.WriteRune(r)
 		}
 	}
-	return String(b.String()), nil
+	return b.String()
 }
 
 func fnBoolean(_ *context, args []Value) (Value, error) {

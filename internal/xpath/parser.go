@@ -1,11 +1,24 @@
 package xpath
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Path is a compiled XPath expression, safe for concurrent use.
 type Path struct {
 	src  string
 	expr Expr
+
+	// Arena-evaluation plan, classified lazily on first use (see
+	// arena.go): whether the expression falls in the arena-evaluable
+	// fragment, the distinct names its node tests mention, and a
+	// last-arena cache resolving those names to interned symbols.
+	arenaOnce  sync.Once
+	arenaOK    bool
+	arenaNames []string
+	arenaSyms  atomic.Pointer[arenaSymCache]
 }
 
 // Source returns the original expression text.

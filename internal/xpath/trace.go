@@ -28,3 +28,26 @@ func (p *Path) SelectDocCtx(ctx stdcontext.Context, doc *dom.Document) ([]*dom.N
 	sp.End()
 	return nodes, err
 }
+
+// SelectIndexesCtx is SelectIndexes with per-request tracing: the
+// "xpath.eval" span records the expression, the result cardinality and
+// which evaluator ran (arena or tree). With an untraced context it is
+// exactly SelectIndexes.
+func (p *Path) SelectIndexesCtx(ctx stdcontext.Context, doc *dom.Document) ([]int32, bool, error) {
+	sp := trace.StartChild(ctx, "xpath.eval")
+	if sp == nil {
+		return p.SelectIndexes(doc)
+	}
+	idx, viaArena, err := p.SelectIndexes(doc)
+	route := "tree"
+	if viaArena {
+		route = "arena"
+	}
+	if err != nil {
+		sp.Lazyf("%s [%s]: %v", p.src, route, err)
+	} else {
+		sp.Lazyf("%s [%s] -> %d nodes", p.src, route, len(idx))
+	}
+	sp.End()
+	return idx, viaArena, err
+}
