@@ -22,6 +22,8 @@
 //	xsbench -exp classes -json BENCH_classes.json
 //	                            serve cost and cache footprint vs requester
 //	                            population under class-keyed caching
+//	xsbench -exp obs -json BENCH_obs.json
+//	                            per-request cost-accounting overhead
 //	xsbench -exp online -quick  smaller sweeps
 package main
 
@@ -50,7 +52,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace wal classes dom all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace wal classes dom obs all")
 	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view/authindex/trace/wal experiments to this file")
 	flag.Parse()
@@ -72,8 +74,9 @@ func main() {
 		"wal":       expWAL,
 		"classes":   expClasses,
 		"dom":       expDom,
+		"obs":       expObs,
 	}
-	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace", "wal", "classes", "dom"}
+	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace", "wal", "classes", "dom", "obs"}
 
 	var names []string
 	if *exp == "all" {

@@ -180,6 +180,12 @@ func (x *AuthIndex) lookup(ctx context.Context, doc *dom.Document, gen uint64, a
 			ns.idx = idx
 		}
 		x.fills.Add(1)
+		// The fill is charged to the request whose goroutine ran the
+		// evaluation; coalesced misses waiting on the same once record
+		// only their miss.
+		if card := trace.CostFromContext(ctx); card != nil {
+			card.AuthIndexFills++
+		}
 		x.observeFill(time.Since(start))
 		if sp.Traced() {
 			sp.Lazyf("%s -> %d nodes (gen %d)", a, len(ns.idx), gen)
@@ -262,6 +268,32 @@ type AuthIndexStats struct {
 	// Documents is the number of documents currently indexed; Entries is
 	// the total number of cached node-sets across them.
 	Documents, Entries int
+}
+
+// AuthIndexDocInfo describes one indexed document for state
+// introspection (/debug/authindexz): which document (by pointer, so the
+// caller can join against its own document table), the store generation
+// its sets were built under, and how many node-sets are cached.
+type AuthIndexDocInfo struct {
+	Doc   *dom.Document
+	Gen   uint64
+	Sets  int
+	Nodes int
+}
+
+// Inspect returns a snapshot of every indexed document. The result is
+// built under the index locks but holds no references into them.
+func (x *AuthIndex) Inspect() []AuthIndexDocInfo {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]AuthIndexDocInfo, 0, len(x.byDoc))
+	for doc, de := range x.byDoc {
+		de.mu.Lock()
+		n := len(de.sets)
+		de.mu.Unlock()
+		out = append(out, AuthIndexDocInfo{Doc: doc, Gen: de.gen, Sets: n, Nodes: doc.NodeCount()})
+	}
+	return out
 }
 
 // Stats returns current counters and sizes.

@@ -362,6 +362,10 @@ func (e *Engine) ComputeViewCtx(ctx context.Context, req Request, doc *dom.Docum
 		sp.Lazyf("kept %d of %d nodes", kept, stats.Nodes)
 		sp.End()
 	}
+	if card := trace.CostFromContext(ctx); card != nil {
+		card.NodesSwept += int64(stats.Nodes)
+		card.NodesKept += int64(kept)
+	}
 	return &View{Doc: doc, Mask: mask, Labeling: lb, Stats: stats}, nil
 }
 
@@ -520,6 +524,11 @@ func (e *Engine) labelCtx(ctx context.Context, req Request, doc *dom.Document) (
 	// document element, which is exactly what Nodes counts, so the
 	// counts are consistent by construction.
 	stats.Plus, stats.Minus, stats.Eps = l.out.Count()
+	if card := trace.CostFromContext(ctx); card != nil {
+		card.NodesLabeled += int64(stats.Nodes)
+		card.AuthIndexHits += int64(idxHits)
+		card.AuthIndexMisses += int64(idxMisses)
+	}
 	return l.out, stats, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"xmlsec/internal/core"
+	"xmlsec/internal/obs"
 	"xmlsec/internal/subjects"
 	"xmlsec/internal/trace"
 )
@@ -41,6 +42,10 @@ type AuditRecord struct {
 	Nodes int `json:"nodes,omitempty"`
 	// Detail carries the denial reason or error summary, if any.
 	Detail string `json:"detail,omitempty"`
+	// Cost is the request's itemized work receipt (see obs.CostCard),
+	// copied from the request context when the HTTP layer attached one.
+	// Nil for direct API use without cost accounting.
+	Cost *obs.CostCard `json:"cost,omitempty"`
 }
 
 // auditor serializes audit records as JSON lines to a writer.
@@ -85,6 +90,18 @@ func (a *auditor) log(rec AuditRecord) {
 	_, _ = a.w.Write(append(b, '\n'))
 }
 
+// costSnapshot copies the request's cost card out of the context. The
+// copy matters: the live card returns to a pool when the HTTP request
+// finishes, while the audit record may be read long after.
+func costSnapshot(ctx context.Context) *obs.CostCard {
+	card := trace.CostFromContext(ctx)
+	if card == nil {
+		return nil
+	}
+	cc := *card
+	return &cc
+}
+
 // auditRead records the outcome of a Process call.
 func (s *Site) auditRead(ctx context.Context, rq subjects.Requester, uri string, view *core.View, err error) {
 	if s.audit == nil {
@@ -93,6 +110,7 @@ func (s *Site) auditRead(ctx context.Context, rq subjects.Requester, uri string,
 	rec := AuditRecord{
 		RequestID: trace.RequestID(ctx),
 		Op:        "read", User: rq.User, IP: rq.IP, Host: rq.Host, URI: uri,
+		Cost: costSnapshot(ctx),
 	}
 	switch {
 	case err == nil:
@@ -118,6 +136,7 @@ func (s *Site) auditWrite(ctx context.Context, rq subjects.Requester, uri string
 	rec := AuditRecord{
 		RequestID: trace.RequestID(ctx),
 		Op:        "write", User: rq.User, IP: rq.IP, Host: rq.Host, URI: uri,
+		Cost: costSnapshot(ctx),
 	}
 	switch {
 	case err == nil:

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xmlsec/internal/subjects"
 )
@@ -64,6 +65,7 @@ type viewKey struct {
 type cacheEntry struct {
 	key viewKey
 	res *ProcessResult
+	at  time.Time // installation (or refresh) instant, for /debug/cachez
 }
 
 // flight is one in-progress view computation: the leader computes and
@@ -151,11 +153,13 @@ func (c *viewCache) put(k viewKey, res *ProcessResult) {
 
 func (c *viewCache) putLocked(k viewKey, res *ProcessResult) {
 	if el, ok := c.index[k]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		e.res = res
+		e.at = time.Now()
 		c.lru.MoveToFront(el)
 		return
 	}
-	el := c.lru.PushFront(&cacheEntry{key: k, res: res})
+	el := c.lru.PushFront(&cacheEntry{key: k, res: res, at: time.Now()})
 	c.index[k] = el
 	for c.lru.Len() > c.max {
 		last := c.lru.Back()
@@ -172,6 +176,48 @@ func (c *viewCache) Stats() (hits, misses uint64) {
 // Coalesced reports how many misses waited on another request's
 // in-flight computation instead of running their own.
 func (c *viewCache) Coalesced() uint64 { return c.coalesced.Load() }
+
+// CacheEntryInfo describes one cached view for state introspection
+// (/debug/cachez): its key fields — the equivalence class (or, in
+// legacy mode, the requester triple), the document, and the four
+// generations the entry is valid under — plus its age and the size of
+// the unparsed XML it shortcuts to.
+type CacheEntryInfo struct {
+	Class        subjects.ClassID `json:"class"`
+	User         string           `json:"user,omitempty"`
+	IP           string           `json:"ip,omitempty"`
+	Host         string           `json:"host,omitempty"`
+	URI          string           `json:"uri"`
+	AuthGen      uint64           `json:"auth_gen"`
+	DocGen       uint64           `json:"doc_gen"`
+	PolicyGen    uint64           `json:"policy_gen"`
+	DirectoryGen uint64           `json:"directory_gen"`
+	AgeNs        int64            `json:"age_ns"`
+	Bytes        int              `json:"bytes"`
+}
+
+// Entries returns a snapshot of every cached view in LRU order (most
+// recently used first).
+func (c *viewCache) Entries() []CacheEntryInfo {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheEntryInfo, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		info := CacheEntryInfo{
+			Class: e.key.class, User: e.key.user, IP: e.key.ip, Host: e.key.host,
+			URI: e.key.uri, AuthGen: e.key.authGen, DocGen: e.key.docGen,
+			PolicyGen: e.key.polGen, DirectoryGen: e.key.dirGen,
+			AgeNs: now.Sub(e.at).Nanoseconds(),
+		}
+		if e.res != nil {
+			info.Bytes = len(e.res.XML)
+		}
+		out = append(out, info)
+	}
+	return out
+}
 
 // Len reports the current number of cached entries. Under class keying
 // this is bounded by classes × documents regardless of how many

@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"log"
 	"net/http"
 
 	"xmlsec/internal/trace"
@@ -65,7 +64,7 @@ func (s *Site) handleTraces(w http.ResponseWriter, r *http.Request) {
 	for _, t := range slow {
 		resp.Slow = append(resp.Slow, t.Snapshot(false))
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // handleTraceDetail serves GET /debug/traces/{id}: one trace with its
@@ -81,15 +80,15 @@ func (s *Site) handleTraceDetail(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no such trace (evicted or never sampled)", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, t.Snapshot(true))
+	s.writeJSON(w, t.Snapshot(true))
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Site) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("server: writing debug response: %v", err)
+		s.logger().Warn("writing debug response failed", "error", err.Error())
 	}
 }
 

@@ -4,13 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 	"strings"
 
 	"xmlsec/internal/dom"
+	"xmlsec/internal/trace"
 	"xmlsec/internal/xpath"
 )
 
@@ -25,10 +25,16 @@ const defaultMaxUpdateBytes = 16 << 20
 //	GET /query/<uri>?q=<xp>   — XPath query over the requester's view
 //	GET /dtds/<uri>           — the loosened DTD (never the original)
 //	GET /healthz              — liveness probe
+//	GET /readyz               — readiness probe (503 during recovery)
 //	GET /metrics              — Prometheus text exposition
 //	GET /statz                — metrics snapshot as JSON
 //	GET /debug/traces         — recent/slow request traces (EnableTracing)
 //	GET /debug/traces/{id}    — one trace's span waterfall
+//	GET /debug/slowz          — worst requests with cost cards (EnableSlowLog)
+//	GET /debug/cachez         — view-cache contents (EnableViewCache)
+//	GET /debug/authindexz     — node-set index contents
+//	GET /debug/classz         — equivalence-class universe (EnableViewCache)
+//	GET /debug/walz           — write-ahead log state (EnableDurability)
 //	GET /debug/pprof/         — runtime profiles (EnablePprof)
 //	POST /admin/xacl          — install an XACL document (EnableAdminAPI)
 //
@@ -40,13 +46,15 @@ const defaultMaxUpdateBytes = 16 << 20
 // Every request is recorded in the site's metric registry (count,
 // latency, and status by route); see Metrics(). Every response carries
 // an X-Request-ID header (the client's, when it sent a well-formed
-// one) that also appears in audit records and, for sampled requests,
-// as the trace ID under /debug/traces.
+// one) that also appears in audit records, structured log lines, slow-
+// log entries and, for sampled requests, as the trace ID under
+// /debug/traces.
 //
-// The debug endpoints share /statz's exposure: unauthenticated on the
-// same mux. /debug/traces answers 404 until EnableTracing is called;
-// /debug/pprof/ is registered only when EnablePprof is set, since
-// profiles reveal process internals beyond this site's data.
+// /statz and the /debug endpoints share one exposure policy: open by
+// default, or restricted to a directory group via Site.DebugGroup.
+// Handlers for disabled subsystems answer 404. While the site is not
+// Ready(), the stateful routes answer 503; probes and introspection
+// stay reachable so operators can watch a recovery.
 func (s *Site) Handler() http.Handler {
 	s.initMetrics()
 	mux := http.NewServeMux()
@@ -58,10 +66,16 @@ func (s *Site) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /statz", s.handleStatz)
-	mux.HandleFunc("GET /debug/traces", s.handleTraces)
-	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceDetail)
+	mux.HandleFunc("GET /statz", s.gateDebug(s.handleStatz))
+	mux.HandleFunc("GET /debug/traces", s.gateDebug(s.handleTraces))
+	mux.HandleFunc("GET /debug/traces/{id}", s.gateDebug(s.handleTraceDetail))
+	mux.HandleFunc("GET /debug/slowz", s.gateDebug(s.handleSlowz))
+	mux.HandleFunc("GET /debug/cachez", s.gateDebug(s.handleCachez))
+	mux.HandleFunc("GET /debug/authindexz", s.gateDebug(s.handleAuthindexz))
+	mux.HandleFunc("GET /debug/classz", s.gateDebug(s.handleClassz))
+	mux.HandleFunc("GET /debug/walz", s.gateDebug(s.handleWalz))
 	if s.EnableAdminAPI {
 		mux.HandleFunc("POST /admin/xacl", s.handleAdminXACL)
 	}
@@ -69,13 +83,13 @@ func (s *Site) Handler() http.Handler {
 		// The handlers are reached through the site's own mux rather
 		// than the net/http/pprof side-effect registration on
 		// DefaultServeMux, so the flag really gates them.
-		mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+		mux.HandleFunc("GET /debug/pprof/", s.gateDebug(httppprof.Index))
+		mux.HandleFunc("GET /debug/pprof/cmdline", s.gateDebug(httppprof.Cmdline))
+		mux.HandleFunc("GET /debug/pprof/profile", s.gateDebug(httppprof.Profile))
+		mux.HandleFunc("GET /debug/pprof/symbol", s.gateDebug(httppprof.Symbol))
+		mux.HandleFunc("GET /debug/pprof/trace", s.gateDebug(httppprof.Trace))
 	}
-	return s.instrument(mux)
+	return s.instrument(s.gateReadiness(mux))
 }
 
 // authenticate resolves the requesting user. The bool result is false
@@ -131,7 +145,13 @@ func (s *Site) handleDoc(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	case err != nil:
-		log.Printf("server: %s requesting %q: %v", rq, uri, err)
+		// The structured line keeps the error detail server-side; the
+		// client sees only the opaque 500. Attribute values are data, not
+		// format-string input, so requester fields cannot inject.
+		s.logger().Error("document request failed",
+			"request_id", trace.RequestID(r.Context()), "uri", uri,
+			"user", rq.User, "ip", rq.IP, "class", classOf(r.Context()),
+			"error", err.Error())
 		http.Error(w, "internal error", http.StatusInternalServerError)
 		return
 	}
@@ -207,13 +227,18 @@ func (s *Site) handleQuery(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, se.Error(), http.StatusBadRequest)
 			return
 		}
-		log.Printf("server: %s querying %q: %v", rq, uri, err)
+		s.logger().Error("query request failed",
+			"request_id", trace.RequestID(r.Context()), "uri", uri,
+			"user", rq.User, "ip", rq.IP, "class", classOf(r.Context()),
+			"error", err.Error())
 		http.Error(w, "internal error", http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	if err := res.Write(w, dom.WriteOptions{Indent: "  "}); err != nil {
-		log.Printf("server: writing query result: %v", err)
+		s.logger().Warn("writing query result failed",
+			"request_id", trace.RequestID(r.Context()), "uri", uri,
+			"error", err.Error())
 	}
 }
 
@@ -262,15 +287,18 @@ func (s *Site) handleAdminXACL(w http.ResponseWriter, r *http.Request) {
 		// A malformed XACL is the caller's fault; an append failure is
 		// ours and must not commit (LoadXACLContext already refused).
 		if s.Durable() && errors.Is(err, errWALAppend) {
-			log.Printf("server: admin xacl from %s: %v", user, err)
+			s.logger().Error("admin xacl append failed",
+				"request_id", trace.RequestID(r.Context()), "user", user,
+				"error", err.Error())
 			http.Error(w, "internal error", http.StatusInternalServerError)
 			return
 		}
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	log.Printf("server: admin %s installed XACL about=%q level=%s (%d authorizations)",
-		user, x.About, x.Level, len(x.Auths))
+	s.logger().Info("admin installed XACL",
+		"request_id", trace.RequestID(r.Context()), "user", user,
+		"about", x.About, "level", x.Level.String(), "authorizations", len(x.Auths))
 	w.WriteHeader(http.StatusNoContent)
 }
 

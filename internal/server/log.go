@@ -1,0 +1,26 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+
+	"xmlsec/internal/trace"
+)
+
+// logger returns the site's structured logger, falling back to the
+// process default so zero-configured Sites still log somewhere useful.
+func (s *Site) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
+}
+
+// classOf reads the requester's authorization-equivalence class off the
+// request's cost card for log attribution; -1 when unclassified.
+func classOf(ctx context.Context) int64 {
+	if card := trace.CostFromContext(ctx); card != nil {
+		return card.Class
+	}
+	return -1
+}

@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -195,6 +194,28 @@ func (s *Site) initMetrics() {
 			"Sequence number of the newest durable mutation record.", func() float64 {
 				return float64(s.WALStats().LastLSN)
 			})
+		reg.NewGaugeFunc("xmlsec_ready",
+			"1 once the site's state is recovered and serving (see /readyz), 0 during startup/replay.", func() float64 {
+				if s.Ready() {
+					return 1
+				}
+				return 0
+			})
+		reg.NewCounterFunc("xmlsec_slowlog_observed_total",
+			"Requests at or above the slow-log threshold (0 when the slow log is disabled).", func() float64 {
+				observed, _, _ := s.slow.StatsCounts()
+				return float64(observed)
+			})
+		reg.NewCounterFunc("xmlsec_slowlog_recorded_total",
+			"Requests admitted to the slow-log board (including later-evicted ones).", func() float64 {
+				_, recorded, _ := s.slow.StatsCounts()
+				return float64(recorded)
+			})
+		reg.NewGaugeFunc("xmlsec_slowlog_entries",
+			"Entries currently on the slow-log board; see /debug/slowz.", func() float64 {
+				_, _, size := s.slow.StatsCounts()
+				return float64(size)
+			})
 		s.metrics = m
 		if s.Engine != nil {
 			s.Engine.SetStageObserver(stageRecorder{m.stage})
@@ -225,7 +246,7 @@ func (s *Site) observeStage(stage string, start time.Time) {
 func (s *Site) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", obs.TextContentType)
 	if err := s.Metrics().WritePrometheus(w); err != nil {
-		log.Printf("server: writing /metrics: %v", err)
+		s.logger().Warn("writing /metrics response failed", "error", err.Error())
 	}
 }
 
@@ -236,15 +257,18 @@ func (s *Site) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(s.Metrics().Snapshot()); err != nil {
-		log.Printf("server: writing /statz: %v", err)
+		s.logger().Warn("writing /statz response failed", "error", err.Error())
 	}
 }
 
 // instrument wraps the site's mux: it stamps every response with an
 // X-Request-ID, starts a trace for sampled requests (the trace ID IS
 // the request ID, so audit lines, response headers, and /debug/traces
-// all join on one value), and records request count, status, and
-// latency per route.
+// all join on one value), attaches a pooled cost card that the hot
+// path itemizes its work onto, and records request count, status, and
+// latency per route. When the request finishes, the card is copied
+// into the trace snapshot and offered to the slow-request log, then
+// returned to the pool — the card itself never outlives the request.
 func (s *Site) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -266,16 +290,34 @@ func (s *Site) instrument(next http.Handler) http.Handler {
 		} else if id == "" {
 			id = trace.NewID()
 		}
-		ctx = trace.WithRequestID(ctx, id)
+		// The card rides in the SAME context value as the request ID, so
+		// cost accounting adds no context allocation over the seed path.
+		card := obs.GetCostCard()
+		ctx = trace.WithRequest(ctx, id, card)
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r.WithContext(ctx))
+		dur := time.Since(start)
 		if tr != nil {
+			tr.SetCost(*card)
 			tr.Root().Lazyf("status %d", sw.status)
 			tr.Finish()
 		}
+		if s.slow.record(SlowEntry{
+			RequestID: id, Method: r.Method, Route: route, Status: sw.status,
+			Start: start, DurationNs: dur.Nanoseconds(), Cost: *card,
+		}) {
+			// One structured line per admitted slow request: operators
+			// grep logs by request_id and land on the same entry that
+			// /debug/slowz, the audit trail, and the trace ring hold.
+			s.logger().Warn("slow request",
+				"request_id", id, "method", r.Method, "route", route,
+				"status", sw.status, "duration", dur, "class", card.Class,
+				"nodes_labeled", card.NodesLabeled, "bytes", card.BytesSerialized)
+		}
+		obs.PutCostCard(card)
 		s.metrics.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
-		s.metrics.httpDur.With(route).ObserveSince(start)
+		s.metrics.httpDur.With(route).Observe(dur.Seconds())
 	})
 }
 
@@ -295,7 +337,10 @@ func routeOf(path string) string {
 		return "/debug/pprof/"
 	case strings.HasPrefix(path, "/debug/traces"):
 		return "/debug/traces"
-	case path == "/healthz", path == "/metrics", path == "/statz":
+	case path == "/debug/slowz", path == "/debug/cachez", path == "/debug/authindexz",
+		path == "/debug/classz", path == "/debug/walz":
+		return path
+	case path == "/healthz", path == "/readyz", path == "/metrics", path == "/statz":
 		return path
 	default:
 		return "other"

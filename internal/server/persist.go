@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"sort"
 	"time"
 
@@ -83,22 +82,26 @@ type policyState struct {
 // this returns, every mutation is WAL-logged before its in-memory
 // commit. Call CloseDurability on shutdown.
 func (s *Site) EnableDurability(dataDir string, opts DurabilityOptions) error {
-	if s.wal != nil {
+	if s.wal.Load() != nil {
 		return fmt.Errorf("server: durability already enabled")
 	}
 	s.initMetrics()
 	if opts.SnapshotBytes <= 0 {
 		opts.SnapshotBytes = DefaultSnapshotBytes
 	}
+	wlog := s.logger().With("component", "wal")
 	l, err := wal.Open(wal.Options{
 		Dir:          dataDir,
 		Sync:         opts.Sync,
 		SyncInterval: opts.SyncInterval,
 		SegmentBytes: opts.SegmentBytes,
 		FsyncObserver: func(d time.Duration) {
+			s.lastFsyncNs.Store(int64(d))
 			s.metrics.walFsync.Observe(d.Seconds())
 		},
-		Logf: log.Printf,
+		Logf: func(format string, args ...any) {
+			wlog.Warn(fmt.Sprintf(format, args...))
+		},
 	})
 	if err != nil {
 		return err
@@ -127,13 +130,13 @@ func (s *Site) EnableDurability(dataDir string, opts DurabilityOptions) error {
 		l.Close()
 		return fmt.Errorf("server: replaying log: %w", err)
 	}
-	s.wal = l
+	s.wal.Store(l)
 	s.snapshotBytes = opts.SnapshotBytes
 	if snap == nil && l.LastLSN() == 0 {
 		// Fresh data directory: persist the baseline so recovery never
 		// depends on the site directory's mutable files again.
 		if err := s.Compact(); err != nil {
-			s.wal = nil
+			s.wal.Store(nil)
 			l.Close()
 			return fmt.Errorf("server: writing initial snapshot: %w", err)
 		}
@@ -144,22 +147,24 @@ func (s *Site) EnableDurability(dataDir string, opts DurabilityOptions) error {
 // CloseDurability flushes and closes the WAL. Mutations attempted
 // afterwards fail rather than succeeding non-durably.
 func (s *Site) CloseDurability() error {
-	if s.wal == nil {
+	l := s.wal.Load()
+	if l == nil {
 		return nil
 	}
-	return s.wal.Close()
+	return l.Close()
 }
 
 // Durable reports whether the site persists mutations.
-func (s *Site) Durable() bool { return s.wal != nil }
+func (s *Site) Durable() bool { return s.wal.Load() != nil }
 
 // WALStats returns the log's counters (zeros when durability is off),
 // the source of the xmlsec_wal_* metric families.
 func (s *Site) WALStats() wal.Stats {
-	if s.wal == nil {
+	l := s.wal.Load()
+	if l == nil {
 		return wal.Stats{}
 	}
-	return s.wal.Stats()
+	return l.Stats()
 }
 
 // errWALAppend marks log-append failures so the HTTP layer can report
@@ -174,15 +179,27 @@ var errWALAppend = errors.New("write-ahead log append failed")
 // synchronous fsync under SyncAlways is the write path's durability
 // cost) as a "wal.append" span.
 func (s *Site) logMutation(ctx context.Context, m mutation) error {
-	if s.wal == nil {
+	l := s.wal.Load()
+	if l == nil {
 		return nil
 	}
 	b, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("server: encoding %s mutation: %w", m.Op, err)
 	}
+	card := trace.CostFromContext(ctx)
 	sp := trace.StartChild(ctx, "wal.append")
-	_, err = s.wal.Append(b)
+	start := time.Time{}
+	if card != nil {
+		start = time.Now()
+	}
+	_, err = l.Append(b)
+	if card != nil {
+		// The append blocks on fsync under SyncAlways, so the elapsed
+		// time is this request's durability wait.
+		card.WALAppends++
+		card.WALFsyncWaitNs += int64(time.Since(start))
+	}
 	sp.End()
 	if err != nil {
 		return fmt.Errorf("server: %w: %v", errWALAppend, err)
@@ -300,10 +317,11 @@ func (s *Site) SetPolicy(uri string, p core.Policy) error {
 // log tail has outgrown the snapshot threshold. Callers hold
 // persistMu; the compactor runs without it until it captures state.
 func (s *Site) maybeCompact() {
-	if s.wal == nil || s.snapshotBytes <= 0 {
+	l := s.wal.Load()
+	if l == nil || s.snapshotBytes <= 0 {
 		return
 	}
-	if s.wal.SizeSinceSnapshot() < s.snapshotBytes {
+	if l.SizeSinceSnapshot() < s.snapshotBytes {
 		return
 	}
 	if !s.compacting.CompareAndSwap(false, true) {
@@ -312,7 +330,8 @@ func (s *Site) maybeCompact() {
 	go func() {
 		defer s.compacting.Store(false)
 		if err := s.Compact(); err != nil {
-			log.Printf("server: background compaction: %v", err)
+			s.logger().Error("background compaction failed",
+				"component", "compactor", "error", err.Error())
 		}
 	}()
 }
@@ -323,18 +342,19 @@ func (s *Site) maybeCompact() {
 // reads are not. Exposed for deterministic tests and operator tooling;
 // the background compactor calls it automatically.
 func (s *Site) Compact() error {
-	if s.wal == nil {
+	l := s.wal.Load()
+	if l == nil {
 		return fmt.Errorf("server: durability not enabled")
 	}
 	start := time.Now()
 	s.persistMu.Lock()
-	lsn := s.wal.LastLSN()
+	lsn := l.LastLSN()
 	payload, err := s.captureSnapshot()
 	s.persistMu.Unlock()
 	if err != nil {
 		return err
 	}
-	if err := s.wal.WriteSnapshot(lsn, payload); err != nil {
+	if err := l.WriteSnapshot(lsn, payload); err != nil {
 		return err
 	}
 	s.metrics.walSnapshot.ObserveSince(start)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,10 @@ type Site struct {
 	// see EnableTracing and GET /debug/traces.
 	traces *trace.Recorder
 
+	// slow, when non-nil, keeps the cost cards of the slowest requests;
+	// see EnableSlowLog and GET /debug/slowz.
+	slow *slowLog
+
 	// EnablePprof exposes net/http/pprof under /debug/pprof/ on the
 	// site's handler. Off by default: profiling endpoints reveal
 	// process internals and cost CPU when scraped, so they share the
@@ -78,13 +83,29 @@ type Site struct {
 	// wal, when non-nil, makes every mutation durable; see
 	// EnableDurability. persistMu serializes mutations so the WAL's
 	// append order equals the in-memory commit order, and snapshots
-	// capture a consistent cut. snapshotBytes is the compaction
-	// threshold; compacting is the single-flight latch for the
-	// background compactor.
+	// capture a consistent cut. The pointer is atomic because metric
+	// scrapes and /debug/walz read it while EnableDurability — which a
+	// readiness-gated server runs AFTER it starts listening — is still
+	// installing it. snapshotBytes is the compaction threshold;
+	// compacting is the single-flight latch for the background
+	// compactor. lastFsyncNs remembers the most recent fsync latency
+	// for state introspection.
 	persistMu     sync.Mutex
-	wal           *wal.Log
+	wal           atomic.Pointer[wal.Log]
 	snapshotBytes int64
 	compacting    atomic.Bool
+	lastFsyncNs   atomic.Int64
+
+	// notReady, while nonzero, makes the readiness middleware answer
+	// 503 on stateful routes and /readyz; see SetReady. The zero value
+	// is "ready" so embedded and test Sites that never gate readiness
+	// serve as before.
+	notReady atomic.Bool
+
+	// Logger receives the site's structured log records (component,
+	// request_id, uri attributes); nil selects slog.Default(). Set it
+	// before serving.
+	Logger *slog.Logger
 
 	// EnableAdminAPI exposes the mutating admin endpoints (POST
 	// /admin/xacl) on the site's handler. Off by default: policy
@@ -95,6 +116,13 @@ type Site struct {
 	// AdminGroup is the directory group whose members may call the
 	// admin endpoints; empty selects DefaultAdminGroup.
 	AdminGroup string
+
+	// DebugGroup, when set, restricts /statz and every /debug/*
+	// endpoint to authenticated members of that directory group (401
+	// for anonymous callers, 403 for non-members). Empty leaves them
+	// open — the historical posture for trusted networks. /metrics is
+	// never gated: Prometheus scrapers do not carry site credentials.
+	DebugGroup string
 
 	// MaxUpdateBytes bounds PUT /docs/ request bodies; ≤0 selects the
 	// 16 MiB default. Oversized uploads are rejected with 413 rather
@@ -205,6 +233,7 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 	if rsp.Traced() {
 		rsp.Lazyf("process %s for user=%s ip=%s host=%s", uri, rq.User, rq.IP, rq.Host)
 	}
+	card := trace.CostFromContext(ctx)
 	// Snapshot the document together with the store generation in ONE
 	// lock acquisition, and likewise the authorization generation with
 	// the per-document time-boundedness. Reading them in separate calls
@@ -234,12 +263,21 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 			// set of applicable authorizations, so every requester in the
 			// class shares one cache entry however large the population.
 			csp := trace.StartChild(ctx, "class.resolve")
-			class, cerr := s.classes.Resolve(s.Engine.Hierarchy, rq, authGen, dirGen,
+			class, outcome, cerr := s.classes.ResolveWithOutcome(s.Engine.Hierarchy, rq, authGen, dirGen,
 				s.Auths.SubjectUniverse)
 			if csp.Traced() {
 				csp.Lazyf("class %d", class)
 			}
 			csp.End()
+			if card != nil && cerr == nil {
+				card.Class = int64(class)
+				if outcome.MemoHit {
+					card.ClassMemoHits++
+				}
+				if outcome.Rebuilt {
+					card.ClassRebuilds++
+				}
+			}
 			if cerr != nil {
 				// A requester that cannot be placed in ASH (malformed IP)
 				// has no class; serve it uncached and let the engine
@@ -253,6 +291,9 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 	if useCache {
 		cached, fl, leader := s.cache.beginFlight(key)
 		if cached != nil {
+			if card != nil {
+				card.ViewCacheHits++
+			}
 			if rsp.Traced() {
 				rsp.Lazyf("view cache hit (no cycle run)")
 			}
@@ -267,6 +308,9 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 				return nil, ctx.Err()
 			}
 			if fl.err == nil && fl.res != nil {
+				if card != nil {
+					card.ViewCacheCoalesced++
+				}
 				if rsp.Traced() {
 					rsp.Lazyf("view cache hit (coalesced with in-flight computation)")
 				}
@@ -276,6 +320,9 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 			// request, like cancellation); compute for ourselves, uncached.
 			useCache = false
 		} else {
+			if card != nil {
+				card.ViewCacheMisses++
+			}
 			defer func() {
 				// Only install the entry if no generation moved while we
 				// computed: the engine reads the live stores, so a change
@@ -350,6 +397,9 @@ func (s *Site) ProcessContext(ctx context.Context, rq subjects.Requester, uri st
 		return nil, err
 	}
 	s.observeStage("unparse", start)
+	if card != nil {
+		card.BytesSerialized += int64(b.Len())
+	}
 	if sp.Traced() {
 		sp.Lazyf("%d bytes", b.Len())
 		sp.End()

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"xmlsec/internal/obs"
+)
+
+// SlowEntry is one slow-request capture: the request's identity (route,
+// method, status, X-Request-ID), when it ran and for how long, and its
+// full cost card. Where a trace shows the request's timeline, the slow
+// log keeps the *work receipt* of the worst offenders so "why was this
+// request slow" is answerable after the trace ring has churned.
+type SlowEntry struct {
+	RequestID  string       `json:"request_id"`
+	Method     string       `json:"method"`
+	Route      string       `json:"route"`
+	Status     int          `json:"status"`
+	Start      time.Time    `json:"start"`
+	DurationNs int64        `json:"duration_ns"`
+	Cost       obs.CostCard `json:"cost"`
+}
+
+// slowLog is a bounded worst-offender ring: requests at or above the
+// threshold are recorded until the log is full, after which a new entry
+// must beat the current minimum duration to enter (evicting it). The
+// result is the max-K slowest requests seen, not the most recent K —
+// an outlier survives however much fast traffic follows it. Reset
+// clears the board, so operators can re-arm after investigating.
+type slowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	max       int
+	entries   []SlowEntry
+
+	recorded uint64 // entries accepted (including ones later evicted)
+	observed uint64 // requests at/above threshold offered
+}
+
+// newSlowLog builds a log keeping the max worst requests at or above
+// threshold. threshold 0 captures every request (useful in tests and
+// when hunting a regression); max ≤ 0 selects 64.
+func newSlowLog(threshold time.Duration, max int) *slowLog {
+	if max <= 0 {
+		max = 64
+	}
+	return &slowLog{threshold: threshold, max: max}
+}
+
+// record offers one finished request to the log; it reports whether
+// the entry made the board (so the caller can emit a matching
+// structured log line for admitted requests only).
+func (l *slowLog) record(e SlowEntry) bool {
+	if l == nil || time.Duration(e.DurationNs) < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observed++
+	if len(l.entries) < l.max {
+		l.entries = append(l.entries, e)
+		l.recorded++
+		return true
+	}
+	// Full: the new entry must beat the current minimum to enter.
+	minIdx := 0
+	for i := 1; i < len(l.entries); i++ {
+		if l.entries[i].DurationNs < l.entries[minIdx].DurationNs {
+			minIdx = i
+		}
+	}
+	if e.DurationNs > l.entries[minIdx].DurationNs {
+		l.entries[minIdx] = e
+		l.recorded++
+		return true
+	}
+	return false
+}
+
+// Snapshot returns the current entries, slowest first.
+func (l *slowLog) Snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]SlowEntry, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurationNs > out[j].DurationNs })
+	return out
+}
+
+// Stats reports how many requests crossed the threshold and how many
+// were admitted to the board.
+func (l *slowLog) StatsCounts() (observed, recorded uint64, size int) {
+	if l == nil {
+		return 0, 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.observed, l.recorded, len(l.entries)
+}
+
+// Reset clears the board (counters are kept: they are cumulative).
+func (l *slowLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.entries = l.entries[:0]
+	l.mu.Unlock()
+}
+
+// EnableSlowLog turns on the slow-request log: requests whose total
+// duration is at or above threshold are captured with their cost cards
+// and served at GET /debug/slowz, bounded to the max worst offenders
+// (≤0 selects 64). A zero threshold captures everything. Returns the
+// site for chaining; call before Handler(), like the other options.
+func (s *Site) EnableSlowLog(threshold time.Duration, max int) *Site {
+	s.slow = newSlowLog(threshold, max)
+	return s
+}
+
+// SlowLog returns the current slow-request entries, slowest first
+// (nil when the slow log is disabled).
+func (s *Site) SlowLog() []SlowEntry {
+	if s.slow == nil {
+		return nil
+	}
+	return s.slow.Snapshot()
+}

@@ -1,6 +1,7 @@
 package subjects
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -102,22 +103,45 @@ type epoch struct {
 // The error mirrors Requester.Subject: a requester whose IP is not a
 // concrete address cannot be placed in ASH and therefore has no class.
 func (x *ClassIndex) Resolve(h Hierarchy, r Requester, polGen, dirGen uint64, universe func() ([]Subject, uint64)) (ClassID, error) {
+	id, _, err := x.ResolveWithOutcome(h, r, polGen, dirGen, universe)
+	return id, err
+}
+
+// ResolveOutcome reports how a single Resolve classified its requester:
+// via the bounded memo (one map probe), and whether this call itself
+// paid for a universe rebuild (fetching and installing a new epoch
+// after a generation change — concurrent resolvers that merely observe
+// the rebuild report false). Per-request cost accounting records these
+// so an outlier request that landed on a generation flip is
+// distinguishable from a memo-warm one.
+type ResolveOutcome struct {
+	MemoHit bool
+	Rebuilt bool
+}
+
+// ResolveWithOutcome is Resolve plus the per-call outcome.
+func (x *ClassIndex) ResolveWithOutcome(h Hierarchy, r Requester, polGen, dirGen uint64, universe func() ([]Subject, uint64)) (ClassID, ResolveOutcome, error) {
 	r = r.Normalized()
 	x.resolves.Add(1)
+	var out ResolveOutcome
 	x.mu.Lock()
 	if x.built && x.polGen == polGen && x.dirGen == dirGen {
 		if id, ok := x.memo[r]; ok {
 			x.mu.Unlock()
-			return id, nil
+			out.MemoHit = true
+			return id, out, nil
 		}
 	}
 	x.mu.Unlock()
 	rs, err := r.Subject()
 	if err != nil {
-		return 0, err
+		return 0, out, err
 	}
 	for {
-		ep := x.epochFor(polGen, dirGen, universe)
+		ep, rebuilt := x.epochFor(polGen, dirGen, universe)
+		if rebuilt {
+			out.Rebuilt = true
+		}
 		key := coverageKey(h, ep.universe, rs, r.Host == "")
 		x.mu.Lock()
 		if x.polGen != ep.polGen || x.dirGen != ep.dirGen {
@@ -137,7 +161,7 @@ func (x *ClassIndex) Resolve(h Hierarchy, r Requester, polGen, dirGen uint64, un
 		}
 		x.memo[r] = id
 		x.mu.Unlock()
-		return id, nil
+		return id, out, nil
 	}
 }
 
@@ -146,13 +170,16 @@ func (x *ClassIndex) Resolve(h Hierarchy, r Requester, polGen, dirGen uint64, un
 // The epoch is installed under the generation universe() actually read
 // its subjects at, which may be newer than polGen if the store mutated
 // concurrently: keying by the fetched generation keeps every epoch's
-// universe consistent with its generation label.
-func (x *ClassIndex) epochFor(polGen, dirGen uint64, universe func() ([]Subject, uint64)) epoch {
+// universe consistent with its generation label. The second result
+// reports whether THIS call fetched the universe and installed a new
+// epoch (as opposed to riding on the current one or losing the install
+// race).
+func (x *ClassIndex) epochFor(polGen, dirGen uint64, universe func() ([]Subject, uint64)) (epoch, bool) {
 	x.mu.Lock()
 	if x.built && x.polGen == polGen && x.dirGen == dirGen {
 		ep := epoch{polGen: polGen, dirGen: dirGen, universe: x.universe}
 		x.mu.Unlock()
-		return ep
+		return ep, false
 	}
 	x.mu.Unlock()
 	// Fetch and canonicalize the new universe outside the lock; the
@@ -160,6 +187,7 @@ func (x *ClassIndex) epochFor(polGen, dirGen uint64, universe func() ([]Subject,
 	// reported for the fetch.
 	subs, gen := universe()
 	u := dedupeSubjects(subs)
+	rebuilt := false
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if !x.built || x.polGen != gen || x.dirGen != dirGen {
@@ -170,8 +198,9 @@ func (x *ClassIndex) epochFor(polGen, dirGen uint64, universe func() ([]Subject,
 		x.classes = make(map[string]ClassID)
 		x.memo = make(map[Requester]ClassID)
 		x.rebuilds.Add(1)
+		rebuilt = true
 	}
-	return epoch{polGen: x.polGen, dirGen: x.dirGen, universe: x.universe}
+	return epoch{polGen: x.polGen, dirGen: x.dirGen, universe: x.universe}, rebuilt
 }
 
 // coverageKey computes the requester's applicability set over the
@@ -225,6 +254,58 @@ type ClassIndexStats struct {
 	// Resolves counts classifications; Rebuilds counts universe
 	// replacements (generation changes observed).
 	Resolves, Rebuilds uint64
+}
+
+// ClassInfo describes one equivalence class for state introspection:
+// its ID and the coverage bitset (hex, bit i = universe subject i
+// applies) that defines it.
+type ClassInfo struct {
+	ID       ClassID `json:"id"`
+	Coverage string  `json:"coverage"`
+}
+
+// ClassIndexInspection is a point-in-time snapshot of the index's
+// internal state for /debug/classz: the epoch the current universe was
+// built under, the canonical subject universe, the classes assigned so
+// far, and memo occupancy.
+type ClassIndexInspection struct {
+	Built    bool        `json:"built"`
+	PolGen   uint64      `json:"policy_gen"`
+	DirGen   uint64      `json:"directory_gen"`
+	Universe []string    `json:"universe"`
+	Classes  []ClassInfo `json:"classes"`
+	NextID   ClassID     `json:"next_id"`
+	MemoLen  int         `json:"memo_len"`
+	MemoCap  int         `json:"memo_cap"`
+	Resolves uint64      `json:"resolves"`
+	Rebuilds uint64      `json:"rebuilds"`
+}
+
+// Inspect returns a deep snapshot of the index. The result shares
+// nothing with the index's internal maps; classes are sorted by ID.
+func (x *ClassIndex) Inspect() ClassIndexInspection {
+	ins := ClassIndexInspection{
+		MemoCap:  classMemoMax,
+		Resolves: x.resolves.Load(),
+		Rebuilds: x.rebuilds.Load(),
+	}
+	x.mu.Lock()
+	ins.Built = x.built
+	ins.PolGen = x.polGen
+	ins.DirGen = x.dirGen
+	ins.NextID = x.nextID
+	ins.MemoLen = len(x.memo)
+	ins.Universe = make([]string, len(x.universe))
+	for i, s := range x.universe {
+		ins.Universe[i] = s.String()
+	}
+	ins.Classes = make([]ClassInfo, 0, len(x.classes))
+	for key, id := range x.classes {
+		ins.Classes = append(ins.Classes, ClassInfo{ID: id, Coverage: fmt.Sprintf("%x", key)})
+	}
+	x.mu.Unlock()
+	sort.Slice(ins.Classes, func(i, j int) bool { return ins.Classes[i].ID < ins.Classes[j].ID })
+	return ins
 }
 
 // Stats returns current counters and sizes.

@@ -6,6 +6,8 @@ import (
 	"math/rand/v2"
 	"sync"
 	"time"
+
+	"xmlsec/internal/obs"
 )
 
 // maxSpans bounds the spans recorded per trace; a runaway loop (one
@@ -49,6 +51,20 @@ type Trace struct {
 	spans    []*Span // creation order; spans[0] is the root
 	dropped  int     // spans not recorded beyond maxSpans
 	arena    []Span  // chunked backing storage for spans
+	cost     *obs.CostCard
+}
+
+// SetCost attaches a copy of the request's cost card to the trace; the
+// middleware calls it just before Finish, so /debug/traces shows what
+// the traced request did alongside where its time went.
+func (t *Trace) SetCost(c obs.CostCard) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	cc := c
+	t.cost = &cc
+	t.mu.Unlock()
 }
 
 // Span is one timed region of a trace. The zero of *Span is a valid
@@ -195,10 +211,19 @@ func (s *Span) Lazyf(format string, args ...any) {
 func (s *Span) Traced() bool { return s != nil }
 
 // context keys: one for the current span (the trace travels with it),
-// one for the bare request ID (set even when the request is untraced,
-// so audit records always carry it).
+// one for the per-request scope — the request ID plus the cost card —
+// set even when the request is untraced, so audit records always carry
+// the ID and cost accounting works at any sampling rate.
 type spanKey struct{}
 type requestIDKey struct{}
+
+// reqInfo is the per-request context payload: one context value carries
+// both the ID and the cost card, so adding cost accounting did not add
+// a second context allocation to the request path.
+type reqInfo struct {
+	id   string
+	cost *obs.CostCard
+}
 
 // NewContext returns ctx carrying sp as the current span. Passing the
 // result to StartSpan parents new spans under sp.
@@ -253,20 +278,39 @@ func StartChild(ctx context.Context, name string) *Span {
 
 // WithRequestID returns ctx carrying the request identifier.
 func WithRequestID(ctx context.Context, id string) context.Context {
-	return context.WithValue(ctx, requestIDKey{}, id)
+	return WithRequest(ctx, id, nil)
+}
+
+// WithRequest returns ctx carrying the request identifier and the
+// request's cost card (nil is fine: cost accounting is then off for
+// this request). The two share one context value.
+func WithRequest(ctx context.Context, id string, cost *obs.CostCard) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, reqInfo{id: id, cost: cost})
 }
 
 // RequestID returns the request identifier carried by ctx: the traced
 // request's trace ID, the ID stamped by the middleware for untraced
 // requests, or "" outside a request.
 func RequestID(ctx context.Context) string {
-	if id, ok := ctx.Value(requestIDKey{}).(string); ok {
-		return id
+	if ri, ok := ctx.Value(requestIDKey{}).(reqInfo); ok {
+		return ri.id
 	}
 	if tr := FromContext(ctx); tr != nil {
 		return tr.ID
 	}
 	return ""
+}
+
+// CostFromContext returns the request's cost card, or nil when the
+// request carries none. Hot paths fetch the card once and guard their
+// plain-field increments with a nil check:
+//
+//	if c := trace.CostFromContext(ctx); c != nil { c.NodesLabeled += n }
+func CostFromContext(ctx context.Context) *obs.CostCard {
+	if ri, ok := ctx.Value(requestIDKey{}).(reqInfo); ok {
+		return ri.cost
+	}
+	return nil
 }
 
 // SpanSnapshot is one span of a finished trace, offsets relative to
@@ -302,6 +346,9 @@ type Snapshot struct {
 	Spans []SpanSnapshot `json:"spans,omitempty"`
 	// DroppedSpans counts spans past the per-trace bound.
 	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// Cost is the request's cost card, when the middleware attached one
+	// (see obs.CostCard): the work receipt joined to the timing tree.
+	Cost *obs.CostCard `json:"cost,omitempty"`
 }
 
 // Snapshot renders the trace. withSpans selects the full waterfall;
@@ -318,6 +365,7 @@ func (t *Trace) Snapshot(withSpans bool) Snapshot {
 		DurationNs:   t.duration.Nanoseconds(),
 		Stages:       make(map[string]int64, 8),
 		DroppedSpans: t.dropped,
+		Cost:         t.cost,
 	}
 	if t.rec != nil && t.rec.slowThreshold > 0 && t.duration >= t.rec.slowThreshold {
 		s.Slow = true

@@ -174,6 +174,15 @@ type Stats struct {
 	LiveBytes int64
 }
 
+// SegmentInfo describes one log segment file for state introspection
+// (/debug/walz): the file's base name, the LSN of its first record, and
+// its current size.
+type SegmentInfo struct {
+	Name     string `json:"name"`
+	FirstLSN uint64 `json:"first_lsn"`
+	Bytes    int64  `json:"bytes"`
+}
+
 // Log is an append-only write-ahead log over a data directory. All
 // methods are safe for concurrent use.
 type Log struct {
@@ -599,6 +608,18 @@ func (l *Log) Stats() Stats {
 		SnapshotLSN:    snap,
 		LiveBytes:      live,
 	}
+}
+
+// Segments returns a snapshot of the log's segment files in LSN order
+// (the last one is the active segment).
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, len(l.segments))
+	for i, seg := range l.segments {
+		out[i] = SegmentInfo{Name: filepath.Base(seg.path), FirstLSN: seg.first, Bytes: seg.size}
+	}
+	return out
 }
 
 // liveBytesLocked sums the segments recovery would still read: those

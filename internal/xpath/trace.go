@@ -15,6 +15,9 @@ import (
 // With an untraced context it is exactly SelectDoc — no allocation, no
 // lock.
 func (p *Path) SelectDocCtx(ctx stdcontext.Context, doc *dom.Document) ([]*dom.Node, error) {
+	if card := trace.CostFromContext(ctx); card != nil {
+		card.TreeXPathEvals++
+	}
 	sp := trace.StartChild(ctx, "xpath.eval")
 	if sp == nil {
 		return p.SelectDoc(doc)
@@ -34,14 +37,30 @@ func (p *Path) SelectDocCtx(ctx stdcontext.Context, doc *dom.Document) ([]*dom.N
 // which evaluator ran (arena or tree). With an untraced context it is
 // exactly SelectIndexes.
 func (p *Path) SelectIndexesCtx(ctx stdcontext.Context, doc *dom.Document) ([]int32, bool, error) {
+	card := trace.CostFromContext(ctx)
 	sp := trace.StartChild(ctx, "xpath.eval")
 	if sp == nil {
-		return p.SelectIndexes(doc)
+		idx, viaArena, err := p.SelectIndexes(doc)
+		if card != nil {
+			if viaArena {
+				card.ArenaXPathEvals++
+			} else {
+				card.TreeXPathEvals++
+			}
+		}
+		return idx, viaArena, err
 	}
 	idx, viaArena, err := p.SelectIndexes(doc)
 	route := "tree"
 	if viaArena {
 		route = "arena"
+	}
+	if card != nil {
+		if viaArena {
+			card.ArenaXPathEvals++
+		} else {
+			card.TreeXPathEvals++
+		}
 	}
 	if err != nil {
 		sp.Lazyf("%s [%s]: %v", p.src, route, err)
