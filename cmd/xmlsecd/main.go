@@ -9,6 +9,8 @@
 //
 //	GET /docs/<uri>        view of the document for the authenticated requester
 //	PUT /docs/<uri>        update through the view (write authority)
+//	POST /docs/<uri>/update apply an update script (write authority; see
+//	                       docs/UPDATES.md for the script forms)
 //	GET /query/<uri>       XPath query over the view (?q=<expr>)
 //	GET /dtds/<uri>        loosened DTD
 //	GET /healthz           liveness

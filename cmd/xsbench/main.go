@@ -24,6 +24,9 @@
 //	                            population under class-keyed caching
 //	xsbench -exp obs -json BENCH_obs.json
 //	                            per-request cost-accounting overhead
+//	xsbench -exp updates -json BENCH_updates.json
+//	                            update scripts vs whole-document PUTs at
+//	                            1%/10%/50% write fractions
 //	xsbench -exp online -quick  smaller sweeps
 package main
 
@@ -52,7 +55,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace wal classes dom obs all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig3 loosen online pipeline conflict subjects xpath cache stages view authindex trace wal classes dom obs updates all")
 	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results of the view/authindex/trace/wal experiments to this file")
 	flag.Parse()
@@ -75,8 +78,9 @@ func main() {
 		"classes":   expClasses,
 		"dom":       expDom,
 		"obs":       expObs,
+		"updates":   expUpdates,
 	}
-	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace", "wal", "classes", "dom", "obs"}
+	order := []string{"fig1", "fig3", "loosen", "conflict", "subjects", "xpath", "pipeline", "online", "cache", "stages", "view", "authindex", "trace", "wal", "classes", "dom", "obs", "updates"}
 
 	var names []string
 	if *exp == "all" {

@@ -109,10 +109,20 @@ type Policy struct {
 // policy for unlabeled nodes.
 var DefaultPolicy = Policy{Conflict: DenialsTakePrecedence}
 
-// visible reports whether a final sign grants access under the policy.
-func (p Policy) visible(s Sign) bool {
+// Grants reports whether a final sign grants the labeled action under
+// the policy: under the open policy everything not explicitly denied is
+// granted, under the closed policy only explicit permissions are. The
+// same predicate decides read visibility (over a read labeling) and
+// write authority (over an action-"write" labeling) — the two update
+// paths, whole-document merge and targeted scripts, share it so a node
+// writable through one is writable through the other.
+func (p Policy) Grants(s Sign) bool {
 	if p.Open {
 		return s != Minus
 	}
 	return s == Plus
 }
+
+// visible is Grants under its historical name; the masking sweeps read
+// it as "does this final label keep the node in the view".
+func (p Policy) visible(s Sign) bool { return p.Grants(s) }

@@ -76,6 +76,15 @@ type CostCard struct {
 	// durability cost of the request's writes).
 	WALAppends     int64 `json:"wal_appends,omitempty"`
 	WALFsyncWaitNs int64 `json:"wal_fsync_wait_ns,omitempty"`
+
+	// Update-script accounting: OpsApplied counts the script operations
+	// a targeted update committed, TargetsChecked the nodes its
+	// write-authorization pass judged (subtree deletions charge every
+	// node of the subtree), and NodesCopied the copy-on-write bill —
+	// the cloned document plus every inserted fragment node.
+	OpsApplied     int64 `json:"update_ops,omitempty"`
+	TargetsChecked int64 `json:"update_targets_checked,omitempty"`
+	NodesCopied    int64 `json:"update_nodes_copied,omitempty"`
 }
 
 // Reset zeroes the card for reuse.

@@ -27,7 +27,7 @@ type AuditRecord struct {
 	// for sampled requests, the trace ID under /debug/traces. Empty for
 	// decisions made outside an HTTP request (direct API use).
 	RequestID string `json:"request_id,omitempty"`
-	// Op is the operation: "read", "write", or "query".
+	// Op is the operation: "read", "write", "update", or "query".
 	Op string `json:"op"`
 	// User, IP, Host identify the requester (the subject triple).
 	User string `json:"user"`
@@ -35,7 +35,8 @@ type AuditRecord struct {
 	Host string `json:"host,omitempty"`
 	// URI is the requested document.
 	URI string `json:"uri"`
-	// Decision is "ok", "not-found", "forbidden", or "error".
+	// Decision is "ok", "not-found", "forbidden", "conflict", or
+	// "error".
 	Decision string `json:"decision"`
 	// Kept and Nodes report the view size for successful reads.
 	Kept  int `json:"kept,omitempty"`
@@ -145,6 +146,37 @@ func (s *Site) auditWrite(ctx context.Context, rq subjects.Requester, uri string
 		rec.Decision = "not-found"
 	case isForbidden(err):
 		rec.Decision = "forbidden"
+		rec.Detail = err.Error()
+	default:
+		rec.Decision = "error"
+		rec.Detail = err.Error()
+	}
+	s.audit.log(rec)
+}
+
+// auditUpdate records the outcome of an ApplyUpdate call. Conflicts get
+// their own decision: a script that no longer fits the document is an
+// ordinary coordination event, not an authorization one, and filtering
+// the trail for "forbidden" must not drown in them.
+func (s *Site) auditUpdate(ctx context.Context, rq subjects.Requester, uri string, err error) {
+	if s.audit == nil {
+		return
+	}
+	rec := AuditRecord{
+		RequestID: trace.RequestID(ctx),
+		Op:        "update", User: rq.User, IP: rq.IP, Host: rq.Host, URI: uri,
+		Cost: costSnapshot(ctx),
+	}
+	switch {
+	case err == nil:
+		rec.Decision = "ok"
+	case isNotFound(err):
+		rec.Decision = "not-found"
+	case isForbidden(err):
+		rec.Decision = "forbidden"
+		rec.Detail = err.Error()
+	case isConflict(err):
+		rec.Decision = "conflict"
 		rec.Detail = err.Error()
 	default:
 		rec.Decision = "error"

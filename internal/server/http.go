@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -8,9 +9,11 @@ import (
 	"net/http"
 	httppprof "net/http/pprof"
 	"strings"
+	"time"
 
 	"xmlsec/internal/dom"
 	"xmlsec/internal/trace"
+	"xmlsec/internal/update"
 	"xmlsec/internal/xpath"
 )
 
@@ -22,6 +25,7 @@ const defaultMaxUpdateBytes = 16 << 20
 //
 //	GET /docs/<uri>           — the requester's view of the document
 //	PUT /docs/<uri>           — replace the document (write authority)
+//	POST /docs/<uri>/update   — apply an update script (write authority)
 //	GET /query/<uri>?q=<xp>   — XPath query over the requester's view
 //	GET /dtds/<uri>           — the loosened DTD (never the original)
 //	GET /healthz              — liveness probe
@@ -60,6 +64,7 @@ func (s *Site) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /docs/", s.handleDoc)
 	mux.HandleFunc("PUT /docs/", s.handleUpdate)
+	mux.HandleFunc("POST /docs/", s.handleApplyUpdate)
 	mux.HandleFunc("GET /query/", s.handleQuery)
 	mux.HandleFunc("GET /dtds/", s.handleDTD)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -197,6 +202,99 @@ func (s *Site) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.WriteHeader(http.StatusNoContent)
 	}
+}
+
+// handleApplyUpdate serves POST /docs/<uri>/update: the body is an
+// update script in either of its forms (see update.ParseScript), the
+// response 204 on commit or a JSON document carrying the per-operation
+// error report. The status ladder mirrors PUT — 401 bad credentials,
+// 404 unknown-or-unreadable document, 403 any operation denied, 409 the
+// script does not fit the document, 413 oversized body, 422 invalid
+// script or a result that breaks DTD validity, 500 the WAL refused the
+// delta record.
+func (s *Site) handleApplyUpdate(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.authenticate(r)
+	if !ok {
+		w.Header().Set("WWW-Authenticate", `Basic realm="xmlsec"`)
+		http.Error(w, "authentication failed", http.StatusUnauthorized)
+		return
+	}
+	uri, found := strings.CutSuffix(strings.TrimPrefix(r.URL.Path, "/docs/"), "/update")
+	if !found || uri == "" {
+		// POST on a bare document path: the resource is there, the verb
+		// is not (the mux can only route on the prefix).
+		w.Header().Set("Allow", "GET, PUT")
+		http.Error(w, "POST is only supported on /docs/<uri>/update", http.StatusMethodNotAllowed)
+		return
+	}
+	limit := s.MaxUpdateBytes
+	if limit <= 0 {
+		limit = defaultMaxUpdateBytes
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return
+	}
+	rq := s.RequesterFor(user, s.peerIP(r))
+	start := time.Now()
+	err = s.ApplyUpdate(r.Context(), rq, uri, string(body))
+	s.metrics.updateApply.ObserveSince(start)
+	outcome := "ok"
+	switch {
+	case err == nil:
+		if card := trace.CostFromContext(r.Context()); card != nil {
+			s.metrics.updateOps.Add(uint64(card.OpsApplied))
+			s.metrics.updateCopied.Add(uint64(card.NodesCopied))
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, ErrNotFound):
+		outcome = "not-found"
+		http.NotFound(w, r)
+	case errors.Is(err, ErrForbidden):
+		outcome = "forbidden"
+		writeUpdateReport(w, http.StatusForbidden, err)
+	case errors.Is(err, ErrConflict):
+		outcome = "conflict"
+		writeUpdateReport(w, http.StatusConflict, err)
+	case s.Durable() && errors.Is(err, errWALAppend):
+		outcome = "error"
+		s.logger().Error("update append failed",
+			"request_id", trace.RequestID(r.Context()), "uri", uri,
+			"user", rq.User, "ip", rq.IP, "error", err.Error())
+		http.Error(w, "internal error", http.StatusInternalServerError)
+	default:
+		// Script parse errors and validity violations are the client's
+		// fault; report them.
+		outcome = "invalid"
+		writeUpdateReport(w, http.StatusUnprocessableEntity, err)
+	}
+	s.metrics.updateReqs.With(outcome).Inc()
+}
+
+// writeUpdateReport answers a failed update with a JSON error document:
+// the overall message plus, for authorization and resolution failures,
+// the per-operation report (already view-safe, see update.Resolve).
+func writeUpdateReport(w http.ResponseWriter, status int, err error) {
+	var se *ScriptError
+	rep := struct {
+		Error  string           `json:"error"`
+		Report []update.OpError `json:"report,omitempty"`
+	}{Error: err.Error()}
+	if errors.As(err, &se) {
+		rep.Report = se.Report
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
 }
 
 func (s *Site) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -21,14 +21,18 @@ var cycleStages = []string{"parse", "label", "prune", "validate", "unparse"}
 // writes to directly; everything read-on-scrape (cache stats, store
 // generations, audit volume) registers as a Func metric instead.
 type siteMetrics struct {
-	reg         *obs.Registry
-	stage       *obs.HistogramVec // stage
-	httpReqs    *obs.CounterVec   // route, status
-	httpDur     *obs.HistogramVec // route
-	processed   *obs.CounterVec   // outcome
-	authFill    *obs.Histogram    // node-set index fill latency
-	walFsync    *obs.Histogram    // WAL fsync latency
-	walSnapshot *obs.Histogram    // snapshot capture+write latency
+	reg          *obs.Registry
+	stage        *obs.HistogramVec // stage
+	httpReqs     *obs.CounterVec   // route, status
+	httpDur      *obs.HistogramVec // route
+	processed    *obs.CounterVec   // outcome
+	authFill     *obs.Histogram    // node-set index fill latency
+	walFsync     *obs.Histogram    // WAL fsync latency
+	walSnapshot  *obs.Histogram    // snapshot capture+write latency
+	updateReqs   *obs.CounterVec   // update scripts, by outcome
+	updateOps    *obs.Counter      // operations committed
+	updateCopied *obs.Counter      // copy-on-write nodes
+	updateApply  *obs.Histogram    // whole update-apply latency
 }
 
 // Metrics returns the site's metric registry, initializing it on first
@@ -55,6 +59,15 @@ func (s *Site) initMetrics() {
 			"HTTP request latency, by route.", obs.DefLatencyBuckets, "route")
 		m.processed = reg.NewCounterVec("xmlsec_process_total",
 			"Security-processor cycles, by outcome (ok, not-found, error).", "outcome")
+		m.updateReqs = reg.NewCounterVec("xmlsec_update_requests_total",
+			"Update scripts received, by outcome (ok, not-found, forbidden, conflict, invalid, error).", "outcome")
+		m.updateOps = reg.NewCounter("xmlsec_update_ops_total",
+			"Script operations committed by successful updates.")
+		m.updateCopied = reg.NewCounter("xmlsec_update_nodes_copied_total",
+			"Nodes copied for updates (copy-on-write clone plus inserted fragments).")
+		m.updateApply = reg.NewHistogram("xmlsec_update_apply_duration_seconds",
+			"End-to-end latency of update scripts (resolve, authorize, apply, log, commit).",
+			obs.DefLatencyBuckets)
 		reg.NewCounterFunc("xmlsec_view_cache_hits_total",
 			"View-cache hits (0 when the cache is disabled).", func() float64 {
 				hits, _ := s.CacheStats()
@@ -325,6 +338,8 @@ func (s *Site) instrument(next http.Handler) http.Handler {
 // per-route label stays low-cardinality no matter what clients send.
 func routeOf(path string) string {
 	switch {
+	case strings.HasPrefix(path, "/docs/") && strings.HasSuffix(path, "/update"):
+		return "/docs/*/update"
 	case strings.HasPrefix(path, "/docs/"):
 		return "/docs/"
 	case strings.HasPrefix(path, "/query/"):

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +14,7 @@ import (
 	"xmlsec/internal/core"
 	"xmlsec/internal/dom"
 	"xmlsec/internal/trace"
+	"xmlsec/internal/update"
 	"xmlsec/internal/wal"
 )
 
@@ -39,11 +42,12 @@ type DurabilityOptions struct {
 // original request took, so a record that was applied once always
 // applies again.
 type mutation struct {
-	// Op is "doc" (document add/replace), "dtd" (DTD registration),
-	// "xacl" (authorization list load), "grant" (single authorization),
-	// or "policy" (per-document policy change).
+	// Op is "doc" (document add/replace), "update" (targeted update
+	// delta), "dtd" (DTD registration), "xacl" (authorization list
+	// load), "grant" (single authorization), or "policy" (per-document
+	// policy change).
 	Op string `json:"op"`
-	// URI names the document (doc, dtd, policy).
+	// URI names the document (doc, update, dtd, policy).
 	URI string `json:"uri,omitempty"`
 	// Source is the XML/DTD/XACL text (doc, dtd, xacl).
 	Source string `json:"src,omitempty"`
@@ -53,6 +57,37 @@ type mutation struct {
 	// Conflict and Open carry a policy change.
 	Conflict string `json:"conflict,omitempty"`
 	Open     bool   `json:"open,omitempty"`
+
+	// Ver versions structured payloads. "update" records carry
+	// updateRecordVersion; replay refuses a version it does not
+	// understand rather than guessing at its semantics.
+	Ver int `json:"v,omitempty"`
+	// Script and Targets are the update delta: the script's canonical
+	// JSON form and the resolved target indexes (dense preorder, into
+	// the pre-update tree) per operation. The delta is what makes the
+	// record small — the document itself is never re-journaled.
+	Script  string    `json:"script,omitempty"`
+	Targets [][]int32 `json:"targets,omitempty"`
+	// PreHash and PostHash fingerprint the document source before and
+	// after a "doc" or "update" mutation (see contentHash). Replay
+	// verifies both, so state divergence — a log edited by hand, a
+	// serializer that changed between versions — fails recovery loudly
+	// instead of silently installing the wrong document. Records
+	// without hashes (logs written before this field existed) replay
+	// unchecked; an empty PreHash on a "doc" record also covers fresh
+	// registrations, which have no pre-state to fingerprint.
+	PreHash  string `json:"pre,omitempty"`
+	PostHash string `json:"post,omitempty"`
+}
+
+// updateRecordVersion is the current "update" delta record layout.
+const updateRecordVersion = 1
+
+// contentHash fingerprints document source text for replay divergence
+// detection.
+func contentHash(src string) string {
+	h := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(h[:])
 }
 
 // siteSnapshot is the snapshot payload: the site's full mutable state.
@@ -213,8 +248,15 @@ func (s *Site) applyMutation(m mutation) error {
 	switch m.Op {
 	case "doc":
 		var old *dom.Document
+		var oldSource string
 		if sd := s.Docs.Doc(m.URI); sd != nil {
-			old = sd.Doc
+			old, oldSource = sd.Doc, sd.Source
+		}
+		if m.PreHash != "" && contentHash(oldSource) != m.PreHash {
+			return fmt.Errorf("server: replaying %q: pre-state hash mismatch (log diverges from replayed state)", m.URI)
+		}
+		if m.PostHash != "" && contentHash(m.Source) != m.PostHash {
+			return fmt.Errorf("server: replaying %q: record content does not match its own hash", m.URI)
 		}
 		if err := s.Docs.AddDocument(m.URI, m.Source); err != nil {
 			return err
@@ -227,6 +269,8 @@ func (s *Site) applyMutation(m mutation) error {
 			}
 		}
 		return nil
+	case "update":
+		return s.replayUpdate(m)
 	case "dtd":
 		return s.Docs.AddDTD(m.URI, m.Source)
 	case "xacl":
@@ -252,6 +296,48 @@ func (s *Site) applyMutation(m mutation) error {
 	return fmt.Errorf("server: unknown mutation op %q", m.Op)
 }
 
+// replayUpdate re-applies an update delta record: parse the journaled
+// script, re-execute it against the recorded target indexes on the
+// replayed tree, and install the result — the recovery half of
+// ApplyUpdate. Authorization is not re-checked: the record exists only
+// because the original request passed it, and the identity predicates
+// would need state the log does not carry. The pre/post content hashes
+// guard the substituted trust: if the replayed tree is not the tree the
+// delta was resolved against, or the re-applied result is not the
+// document the site served afterwards, recovery fails rather than
+// serving a silently different document.
+func (s *Site) replayUpdate(m mutation) error {
+	if m.Ver != updateRecordVersion {
+		return fmt.Errorf("server: update record for %q has version %d; this build understands %d", m.URI, m.Ver, updateRecordVersion)
+	}
+	sd := s.Docs.Doc(m.URI)
+	if sd == nil {
+		return fmt.Errorf("server: update record for unknown document %q", m.URI)
+	}
+	if m.PreHash != "" && contentHash(sd.Source) != m.PreHash {
+		return fmt.Errorf("server: replaying update of %q: pre-state hash mismatch (log diverges from replayed state)", m.URI)
+	}
+	script, err := update.ParseScript(m.Script)
+	if err != nil {
+		return fmt.Errorf("server: update record for %q: %w", m.URI, err)
+	}
+	out, _, err := update.Apply(sd.Doc, script, m.Targets)
+	if err != nil {
+		return fmt.Errorf("server: replaying update of %q: %w", m.URI, err)
+	}
+	newSource := out.String()
+	if m.PostHash != "" && contentHash(newSource) != m.PostHash {
+		return fmt.Errorf("server: replaying update of %q: post-state hash mismatch (replay diverged from the committed document)", m.URI)
+	}
+	if err := s.Docs.AddDocument(m.URI, newSource); err != nil {
+		return err
+	}
+	if idx := s.Engine.AuthIndex(); idx != nil {
+		idx.InvalidateDoc(sd.Doc)
+	}
+	return nil
+}
+
 func parseLevel(s string) authz.Level {
 	if s == "schema" {
 		return authz.SchemaLevel
@@ -275,7 +361,11 @@ func (s *Site) PutDocumentContext(ctx context.Context, uri, source string) error
 	if err != nil {
 		return err
 	}
-	if err := s.logMutation(ctx, mutation{Op: "doc", URI: uri, Source: source}); err != nil {
+	m := mutation{Op: "doc", URI: uri, Source: source, PostHash: contentHash(source)}
+	if prev := s.Docs.Doc(uri); prev != nil {
+		m.PreHash = contentHash(prev.Source)
+	}
+	if err := s.logMutation(ctx, m); err != nil {
 		return err
 	}
 	s.Docs.commitDocument(sd)

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlsec/internal/labexample"
+	"xmlsec/internal/subjects"
+)
+
+// TestDurableUpdateDeltaRecord: an applied update is journaled as a
+// delta — the script and its resolved targets — not as the full
+// document, and recovery replays it to the committed state.
+func TestDurableUpdateDeltaRecord(t *testing.T) {
+	dir := t.TempDir()
+	site := durableLabSite(t, dir)
+	sam := subjects.Requester{User: "Sam", IP: "130.89.56.8", Host: "adminhost.lab.com"}
+	if err := site.ApplyUpdate(context.Background(), sam, labexample.DocURI,
+		"replace-text //flname Ada Hopper"); err != nil {
+		t.Fatal(err)
+	}
+	want := site.Docs.Doc(labexample.DocURI).Source
+	if err := site.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The segment holds the delta record, not the document: the script
+	// is there, untouched document content is not.
+	seg, err := os.ReadFile(activeSegment(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(seg), `"op":"update"`) {
+		t.Errorf("log lacks a delta record:\n%s", seg)
+	}
+	if strings.Contains(string(seg), "Security Markup") {
+		t.Error("delta record journaled unchanged document content")
+	}
+
+	recovered := durableLabSite(t, dir)
+	defer recovered.CloseDurability()
+	if got := recovered.Docs.Doc(labexample.DocURI).Source; got != want {
+		t.Errorf("recovery diverges from the committed document:\n--- recovered ---\n%s\n--- committed ---\n%s", got, want)
+	}
+	res, err := recovered.Process(sam, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.XML, "Ada Hopper") || strings.Contains(res.XML, "Ada Turing") {
+		t.Errorf("recovered view lost the update:\n%s", res.XML)
+	}
+}
+
+// TestDurableMixedLogRecovery interleaves full-document records and
+// delta records in one log and recovers the lot — the normal shape of
+// a log written across the delta-record upgrade.
+func TestDurableMixedLogRecovery(t *testing.T) {
+	dir := t.TempDir()
+	site := durableLabSite(t, dir)
+	sam := subjects.Requester{User: "Sam", IP: "130.89.56.8", Host: "adminhost.lab.com"}
+	ctx := context.Background()
+	if err := site.PutDocument(labexample.DocURI, updatedCSlab); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.ApplyUpdate(ctx, sam, labexample.DocURI,
+		"replace-text //flname Mixed Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.ApplyUpdate(ctx, sam, labexample.DocURI,
+		"replace-text //title Mixed Log"); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.PutDocument(labexample.DocURI, labexample.DocSource); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.ApplyUpdate(ctx, sam, labexample.DocURI,
+		"delete //fund"); err != nil {
+		t.Fatal(err)
+	}
+	want := site.Docs.Doc(labexample.DocURI).Source
+	if err := site.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	recovered := durableLabSite(t, dir)
+	defer recovered.CloseDurability()
+	if got := recovered.Docs.Doc(labexample.DocURI).Source; got != want {
+		t.Errorf("mixed log recovery diverges:\n--- recovered ---\n%s\n--- committed ---\n%s", got, want)
+	}
+}
+
+// TestReplayUpdateGuards exercises the delta record's replay defenses
+// one by one: version gating, pre-state hash divergence, post-state
+// hash divergence — and the backward-compatible hash checks on "doc"
+// records (hash-less old records replay unchecked; a stamped record
+// that does not match its own hash is refused).
+func TestReplayUpdateGuards(t *testing.T) {
+	mk := func() *Site {
+		site, _ := writerSite(t)
+		return site
+	}
+	src := labexample.DocSource
+	good := mutation{
+		Op:       "update",
+		URI:      labexample.DocURI,
+		Ver:      updateRecordVersion,
+		Script:   `{"ops":[{"op":"set-attr","target":"//project","name":"status","value":"x"}]}`,
+		Targets:  nil,
+		PreHash:  contentHash(src),
+		PostHash: "",
+	}
+	// Resolve the real targets so the good record actually applies.
+	{
+		site := mk()
+		m := good
+		m.Targets = [][]int32{{}}
+		// Find the project element indexes by applying through the API
+		// once on a scratch site and reusing its logged targets is
+		// overkill here; instead leave Targets empty and expect the
+		// apply to be a no-op set on zero nodes — the guards under test
+		// fire before and after apply regardless.
+		if err := site.applyMutation(m); err != nil {
+			t.Fatalf("well-formed record refused: %v", err)
+		}
+	}
+
+	t.Run("version gate", func(t *testing.T) {
+		site := mk()
+		m := good
+		m.Ver = updateRecordVersion + 1
+		err := site.applyMutation(m)
+		if err == nil || !strings.Contains(err.Error(), "this build understands") {
+			t.Errorf("future-versioned record: %v, want a version refusal", err)
+		}
+	})
+	t.Run("pre-hash divergence", func(t *testing.T) {
+		site := mk()
+		m := good
+		m.PreHash = contentHash("<other/>")
+		err := site.applyMutation(m)
+		if err == nil || !strings.Contains(err.Error(), "pre-state hash mismatch") {
+			t.Errorf("diverged pre-state: %v, want a hash refusal", err)
+		}
+	})
+	t.Run("post-hash divergence", func(t *testing.T) {
+		site := mk()
+		m := good
+		m.Targets = [][]int32{{}}
+		m.PostHash = contentHash("<other/>")
+		err := site.applyMutation(m)
+		if err == nil || !strings.Contains(err.Error(), "replay diverged") {
+			t.Errorf("diverged post-state: %v, want a divergence refusal", err)
+		}
+	})
+	t.Run("unknown document", func(t *testing.T) {
+		site := mk()
+		m := good
+		m.URI = "ghost.xml"
+		if err := site.applyMutation(m); err == nil {
+			t.Error("update record for an unknown document accepted")
+		}
+	})
+	t.Run("doc record hash-less replays unchecked", func(t *testing.T) {
+		site := mk()
+		m := mutation{Op: "doc", URI: labexample.DocURI, Source: updatedCSlab}
+		if err := site.applyMutation(m); err != nil {
+			t.Errorf("old-style doc record refused: %v", err)
+		}
+	})
+	t.Run("doc record self-hash mismatch", func(t *testing.T) {
+		site := mk()
+		m := mutation{Op: "doc", URI: labexample.DocURI, Source: updatedCSlab,
+			PostHash: contentHash("<other/>")}
+		err := site.applyMutation(m)
+		if err == nil || !strings.Contains(err.Error(), "does not match its own hash") {
+			t.Errorf("corrupt doc record: %v, want a hash refusal", err)
+		}
+	})
+	t.Run("doc record pre-hash divergence", func(t *testing.T) {
+		site := mk()
+		m := mutation{Op: "doc", URI: labexample.DocURI, Source: updatedCSlab,
+			PreHash: contentHash("<other/>"), PostHash: contentHash(updatedCSlab)}
+		err := site.applyMutation(m)
+		if err == nil || !strings.Contains(err.Error(), "pre-state hash mismatch") {
+			t.Errorf("diverged doc pre-state: %v, want a hash refusal", err)
+		}
+	})
+}
+
+// TestKillPointEveryByteUpdate is TestKillPointEveryByte with a delta
+// record as the final mutation: a crash between the delta append and
+// the in-memory commit must recover to exactly the pre- or post-update
+// state at every byte boundary.
+func TestKillPointEveryByteUpdate(t *testing.T) {
+	dir := t.TempDir()
+	site := durableLabSite(t, dir)
+	sam := subjects.Requester{User: "Sam", IP: "130.89.56.8", Host: "adminhost.lab.com"}
+	pre, err := site.Process(sam, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := activeSegment(t, dir)
+	st0, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := site.ApplyUpdate(context.Background(), sam, labexample.DocURI,
+		"replace-text //title Torn Tail"); err != nil {
+		t.Fatal(err)
+	}
+	post, err := site.Process(sam, labexample.DocURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.XML == post.XML {
+		t.Fatal("update did not change the view; the kill points would prove nothing")
+	}
+	if err := site.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Size() <= st0.Size() {
+		t.Fatalf("segment did not grow: %d -> %d", st0.Size(), st1.Size())
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := st0.Size(); cut <= st1.Size(); cut++ {
+		killDir := filepath.Join(t.TempDir(), "data")
+		if err := os.Mkdir(killDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Name() == filepath.Base(seg) {
+				b = b[:cut]
+			}
+			if err := os.WriteFile(filepath.Join(killDir, e.Name()), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recovered := durableLabSite(t, killDir)
+		res, err := recovered.Process(sam, labexample.DocURI)
+		if err != nil {
+			t.Fatalf("cut at byte %d: recovery corrupt: %v", cut, err)
+		}
+		want := pre.XML
+		if cut == st1.Size() {
+			want = post.XML
+		}
+		if res.XML != want {
+			t.Fatalf("cut at byte %d: view is neither pre- nor the expected state:\n%s", cut, res.XML)
+		}
+		if err := recovered.CloseDurability(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

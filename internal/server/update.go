@@ -102,11 +102,7 @@ func (s *Site) UpdateContext(ctx context.Context, rq subjects.Requester, uri, ne
 	}
 	pol := s.Engine.PolicyFor(uri)
 	writable := func(n *dom.Node) bool {
-		f := lb.FinalOf(n)
-		if pol.Open {
-			return f != core.Minus
-		}
-		return f == core.Plus
+		return pol.Grants(lb.FinalOf(n))
 	}
 	sp = trace.StartChild(ctx, "merge")
 	merged, err := core.MergeView(sd.Doc, readView, res.Doc, writable)

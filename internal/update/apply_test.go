@@ -1,0 +1,245 @@
+package update
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xmlsec/internal/dom"
+	"xmlsec/internal/workload"
+	"xmlsec/internal/xmlparse"
+)
+
+const testDoc = `<site><regions><asia code="91"><item id="i1">lamp</item></asia><europe code="44"/></regions><name>old</name></site>`
+
+func parseDoc(t *testing.T, src string) *dom.Document {
+	t.Helper()
+	res, err := xmlparse.Parse(src, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Doc
+}
+
+func all(int32) bool { return true }
+
+// run resolves and applies a script under full visibility and write
+// authority and returns the serialized result.
+func run(t *testing.T, doc *dom.Document, script string) string {
+	t.Helper()
+	s, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report := Resolve(context.Background(), doc, s, all, all)
+	if report != nil {
+		t.Fatalf("resolve: %v", report)
+	}
+	out, _, err := Apply(doc, s, res.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.StringIndent("")
+}
+
+func TestApplyOperations(t *testing.T) {
+	cases := []struct {
+		name, script, want, without string
+	}{
+		{"insert-into", `insert-into /site/regions <africa/>`, "<africa/>", ""},
+		{"insert-before", `insert-before //europe <africa/>`, "<africa/><europe", ""},
+		{"insert-after", `insert-after //asia <africa/>`, "</asia><africa/>", ""},
+		{"delete element", `delete //asia`, "", "asia"},
+		{"delete attribute", `delete //asia/@code`, "", `code="91"`},
+		{"replace-node", `replace-node //europe <africa2 code="20"/>`, "<africa2", "europe"},
+		{"replace-text", `replace-text //item new text`, ">new text<", "lamp"},
+		{"set-attr new", `set-attr //europe tz=CET`, `tz="CET"`, ""},
+		{"set-attr overwrite", `set-attr //asia code=86`, `code="86"`, `code="91"`},
+		{"multi-target", `set-attr //regions/* mark=1`, `mark="1"`, ""},
+		{"ordered ops", "set-attr //asia code=86\ndelete //europe", `code="86"`, "europe"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := parseDoc(t, testDoc)
+			before := doc.StringIndent("")
+			got := run(t, doc, tc.script)
+			if tc.want != "" && !strings.Contains(got, tc.want) {
+				t.Errorf("output lacks %q:\n%s", tc.want, got)
+			}
+			if tc.without != "" && strings.Contains(got, tc.without) {
+				t.Errorf("output still has %q:\n%s", tc.without, got)
+			}
+			if after := doc.StringIndent(""); after != before {
+				t.Errorf("Apply mutated the input document:\n%s", after)
+			}
+		})
+	}
+}
+
+func TestApplyConflictOnRemovedTarget(t *testing.T) {
+	doc := parseDoc(t, testDoc)
+	s, err := ParseScript("delete //asia\ninsert-into //asia <x/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report := Resolve(context.Background(), doc, s, all, all)
+	if report != nil {
+		t.Fatalf("resolve: %v", report)
+	}
+	_, _, err = Apply(doc, s, res.Targets)
+	var ce *ConflictError
+	if !errors.As(err, &ce) || ce.Op != 1 {
+		t.Fatalf("want ConflictError on op 1, got %v", err)
+	}
+}
+
+func TestResolveVisibilityAndAuthority(t *testing.T) {
+	doc := parseDoc(t, testDoc)
+	byName := func(name string) int32 {
+		var at int32 = -1
+		doc.Walk(func(n *dom.Node) bool {
+			if at < 0 && n.Name == name {
+				at = int32(n.Order)
+			}
+			return true
+		})
+		if at < 0 {
+			t.Fatalf("no node %q", name)
+		}
+		return at
+	}
+	asia := byName("asia")
+	asiaEnd := byName("item") // item is inside asia; enough for subtree tests
+
+	t.Run("invisible target reads as absent", func(t *testing.T) {
+		s, _ := ParseScript("delete //asia")
+		invisible := func(i int32) bool { return i != asia }
+		_, report := Resolve(context.Background(), doc, s, invisible, all)
+		if len(report) != 1 || report[0].Class != ClassConflict {
+			t.Fatalf("report = %v", report)
+		}
+		if !strings.Contains(report[0].Reason, "selects nothing") {
+			t.Errorf("reason %q names the hidden node", report[0].Reason)
+		}
+	})
+	t.Run("delete needs the whole subtree writable", func(t *testing.T) {
+		s, _ := ParseScript("delete //asia")
+		almost := func(i int32) bool { return i != asiaEnd }
+		_, report := Resolve(context.Background(), doc, s, all, almost)
+		if len(report) != 1 || report[0].Class != ClassForbidden {
+			t.Fatalf("report = %v", report)
+		}
+		// The refusal names the visible target, not the denied
+		// descendant.
+		if strings.Contains(report[0].Reason, "item") {
+			t.Errorf("reason %q leaks the denied descendant", report[0].Reason)
+		}
+	})
+	t.Run("insert-beside checks the parent", func(t *testing.T) {
+		s, _ := ParseScript("insert-before //asia <x/>")
+		regions := byName("regions")
+		noParent := func(i int32) bool { return i != regions }
+		_, report := Resolve(context.Background(), doc, s, all, noParent)
+		if len(report) != 1 || report[0].Class != ClassForbidden {
+			t.Fatalf("report = %v", report)
+		}
+	})
+	t.Run("set-attr on invisible attribute reads like denial", func(t *testing.T) {
+		code := byName("code") // asia's code attribute (first in document order)
+		sHidden, _ := ParseScript("set-attr //asia code=7")
+		hideAttr := func(i int32) bool { return i != code }
+		_, repHidden := Resolve(context.Background(), doc, sHidden, hideAttr, all)
+		noWrite := func(i int32) bool { return i != code }
+		_, repDenied := Resolve(context.Background(), doc, sHidden, all, noWrite)
+		if len(repHidden) != 1 || len(repDenied) != 1 {
+			t.Fatalf("reports = %v / %v", repHidden, repDenied)
+		}
+		if repHidden[0].Reason != repDenied[0].Reason {
+			t.Errorf("invisible (%q) and denied (%q) refusals differ", repHidden[0].Reason, repDenied[0].Reason)
+		}
+	})
+	t.Run("replace-text needs fully readable content", func(t *testing.T) {
+		s, _ := ParseScript("replace-text //asia x")
+		item := byName("item")
+		hideItem := func(i int32) bool { return i != item }
+		_, report := Resolve(context.Background(), doc, s, hideItem, all)
+		if len(report) != 1 || report[0].Class != ClassForbidden {
+			t.Fatalf("report = %v", report)
+		}
+	})
+	t.Run("document element is protected", func(t *testing.T) {
+		for _, script := range []string{"delete /site", "replace-node /site <x/>", "insert-before /site <x/>"} {
+			s, _ := ParseScript(script)
+			_, report := Resolve(context.Background(), doc, s, all, all)
+			if len(report) != 1 || report[0].Class != ClassConflict {
+				t.Errorf("%s: report = %v", script, report)
+			}
+		}
+	})
+	t.Run("all failing ops are reported", func(t *testing.T) {
+		s, _ := ParseScript("delete /site\ndelete //nowhere\nset-attr //asia code=7")
+		noWrite := func(int32) bool { return false }
+		_, report := Resolve(context.Background(), doc, s, all, noWrite)
+		if len(report) != 3 {
+			t.Fatalf("want 3 errors, got %v", report)
+		}
+	})
+}
+
+func TestApplyCountsCopies(t *testing.T) {
+	doc := parseDoc(t, testDoc)
+	s, err := ParseScript("insert-into /site/regions <africa code=\"20\"><item>x</item></africa>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report := Resolve(context.Background(), doc, s, all, all)
+	if report != nil {
+		t.Fatal(report)
+	}
+	out, copied, err := Apply(doc, s, res.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clone copies every pre-update node; the fragment adds africa,
+	// its attribute, item, and item's text.
+	if want := doc.NodeCount() + 4; copied != want {
+		t.Errorf("copied = %d, want %d", copied, want)
+	}
+	if out.NodeCount() != doc.NodeCount()+4 {
+		t.Errorf("out has %d nodes, want %d", out.NodeCount(), doc.NodeCount()+4)
+	}
+}
+
+func TestRandomScriptsApplyDeterministically(t *testing.T) {
+	cfg := workload.DocConfig{Depth: 3, Fanout: 3, Labels: 4, Attrs: 2, Seed: 7}
+	doc := workload.GenDocument(cfg)
+	for seed := int64(0); seed < 20; seed++ {
+		s := RandomScript(rand.New(rand.NewSource(seed)), doc, 6)
+		if s == nil {
+			t.Fatalf("seed %d: no script", seed)
+		}
+		res, report := Resolve(context.Background(), doc, s, all, all)
+		if report != nil {
+			t.Fatalf("seed %d: resolve: %v", seed, report)
+		}
+		a, _, err := Apply(doc, s, res.Targets)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nscript: %s", seed, err, s.Canonical())
+		}
+		// Replay route: the canonical script re-parses and re-applies to
+		// the identical document.
+		s2, err := ParseScript(s.Canonical())
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		b, _, err := Apply(doc, s2, res.Targets)
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: replay diverged\nlive:   %s\nreplay: %s", seed, a.String(), b.String())
+		}
+	}
+}

@@ -17,4 +17,16 @@
 // site mutations as JSON); wal's contract is framing, ordering,
 // durability, and recovery. See docs/PERSISTENCE.md for the on-disk
 // format and the recovery procedure.
+//
+// Because payloads are opaque, payload evolution is also the caller's
+// contract, and it is one-directional: a log is read by the binary that
+// wrote it or a NEWER one, never by an older one. Callers that extend a
+// payload must therefore (a) keep every previously written shape
+// replayable forever — new fields are optional, absent means the old
+// semantics — and (b) version any record kind whose replay SEMANTICS
+// change (internal/server's "update" records carry an explicit version
+// for this), refusing unknown versions loudly instead of guessing.
+// Mixed logs, in which records written before and after such an
+// extension interleave, are the normal case after an upgrade, not an
+// edge case.
 package wal
